@@ -1,0 +1,62 @@
+"""Ablation: within-class queue discipline.
+
+The paper's dispatcher releases queries FIFO within a class.  Workload
+managers often use shortest-job-first (more queries packed under the same
+cost limit) or aging (SJF without starvation).  This bench runs the Query
+Scheduler with each discipline on the shortened paper workload and compares
+OLAP velocities and attainment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_experiment
+
+DISCIPLINES = ("fifo", "sjf", "aging")
+
+
+def test_queue_discipline_sweep(benchmark, report, ablation_config):
+    def sweep():
+        rows = {}
+        for discipline in DISCIPLINES:
+            config = ablation_config.with_updates(
+                planner=dataclasses.replace(
+                    ablation_config.planner, queue_discipline=discipline
+                )
+            )
+            result = run_experiment(controller="qs", config=config)
+            attainment = result.goal_attainment()
+            velocities = {}
+            for name in ("class1", "class2"):
+                values = [
+                    v
+                    for v in result.collector.metric_series(name, "velocity")
+                    if v is not None
+                ]
+                velocities[name] = sum(values) / len(values) if values else 0.0
+            rows[discipline] = (attainment, velocities)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report("")
+    report("=== Ablation: within-class queue discipline ===")
+    report("{:>8} | {:>8} | {:>8} | {:>8} | {:>10} | {:>10}".format(
+        "queue", "att c1", "att c2", "att c3", "mean vel1", "mean vel2"))
+    report("-" * 68)
+    for discipline in DISCIPLINES:
+        attainment, velocities = rows[discipline]
+        report("{:>8} | {:>7.0%} | {:>7.0%} | {:>7.0%} | {:>10.3f} | {:>10.3f}".format(
+            discipline,
+            attainment["class1"], attainment["class2"], attainment["class3"],
+            velocities["class1"], velocities["class2"]))
+
+    # Every discipline keeps the OLTP class protected.
+    for discipline in DISCIPLINES:
+        assert rows[discipline][0]["class3"] >= 0.5
+    # SJF must not *hurt* mean OLAP velocity relative to FIFO (it packs
+    # more, cheaper queries under the same limits).
+    fifo_vel = sum(rows["fifo"][1].values())
+    sjf_vel = sum(rows["sjf"][1].values())
+    assert sjf_vel >= fifo_vel - 0.1

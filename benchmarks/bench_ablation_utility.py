@@ -1,0 +1,47 @@
+"""Ablation: utility-function family.
+
+The framework expresses goals and importance through utility functions
+(Section 2).  This bench runs the Query Scheduler with each provided family
+on the shortened paper workload and compares per-class goal attainment —
+the shared contract (importance-weighted below goal, importance-free above)
+should make all three families behave similarly, with the step family the
+most brittle because its search surface is nearly flat below goal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_experiment
+
+FAMILIES = ("piecewise", "sigmoid", "step")
+
+
+def test_utility_family_sweep(benchmark, report, ablation_config):
+    def sweep():
+        rows = {}
+        for family in FAMILIES:
+            config = ablation_config.with_updates(
+                planner=dataclasses.replace(ablation_config.planner, utility=family)
+            )
+            result = run_experiment(controller="qs", config=config)
+            rows[family] = result.goal_attainment()
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report("")
+    report("=== Ablation: utility family vs goal attainment ===")
+    report("{:>12} | {:>8} | {:>8} | {:>8}".format("family", "class1", "class2", "class3"))
+    report("-" * 48)
+    for family in FAMILIES:
+        att = rows[family]
+        report("{:>12} | {:>7.0%} | {:>7.0%} | {:>7.0%}".format(
+            family, att["class1"], att["class2"], att["class3"]))
+
+    # The default (piecewise) family must protect the OLTP class well.
+    assert rows["piecewise"]["class3"] >= 0.5
+    # Each family must keep the controller functional (no class collapses).
+    for family in FAMILIES:
+        total = sum(rows[family].values())
+        assert total >= 1.2, "family {} collapsed: {}".format(family, rows[family])

@@ -1,0 +1,74 @@
+"""Figure 7: adjustment of class cost limits under Query Scheduler control.
+
+Paper claims reproduced:
+
+* Class 3 (highest importance) possesses *few* resources while its
+  workload is light (periods 1, 4, 7, 10, 13, 16) — importance is not
+  priority;
+* when its intensity is high (3, 6, 9, 12, 15, 18) the scheduler shifts a
+  large share — around half the system cost limit — to Class 3;
+* in period 18 Class 3's limit is *lower* than in periods 3, 6 and 9 even
+  though its own intensity is the same, because the competing classes are
+  at their heaviest and the trade-off is fiercest.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure6, figure7
+from repro.metrics.report import format_plan_table
+
+HEAVY = (3, 6, 9, 12, 15, 18)
+LIGHT = (1, 4, 7, 10, 13, 16)
+
+
+def _end_of_period_limits(result, class_name):
+    """The last planned limit inside each period (lag-free view)."""
+    series = result.collector.plan_series(class_name)
+    period_seconds = result.schedule.period_seconds
+    limits = []
+    for period in range(result.schedule.num_periods):
+        lo, hi = period * period_seconds, (period + 1) * period_seconds
+        inside = [limit for t, limit in series if lo < t <= hi]
+        limits.append(inside[-1] if inside else None)
+    return limits
+
+
+def test_cost_limit_adjustment(benchmark, report, paper_config):
+    result = run_once(benchmark, lambda: figure6(paper_config))
+    plans = figure7(result=result)
+    report("")
+    report(
+        format_plan_table(
+            result.collector,
+            ["class1", "class2", "class3"],
+            title="=== Figure 7: class cost limits (period means) under QS ===",
+        )
+    )
+
+    end_limits = _end_of_period_limits(result, "class3")
+    report("class3 end-of-period limits: {}".format(
+        ["-" if v is None else "{:.0f}".format(v) for v in end_limits]
+    ))
+
+    heavy = [end_limits[p - 1] for p in HEAVY if end_limits[p - 1] is not None]
+    light = [end_limits[p - 1] for p in LIGHT if end_limits[p - 1] is not None]
+    assert heavy and light
+    heavy_mean = sum(heavy) / len(heavy)
+    light_mean = sum(light) / len(light)
+    report("class3 mean limit: heavy={:.0f}, light={:.0f}".format(heavy_mean, light_mean))
+
+    # Few resources when light, a large share when heavy.
+    assert heavy_mean > 1.5 * light_mean
+    system = result.config.system_cost_limit
+    assert heavy_mean > 0.35 * system  # "more than half" in the paper; we
+    # assert a conservative band since the absolute share is calibration-
+    # dependent (see EXPERIMENTS.md).
+    assert light_mean < 0.40 * system
+
+    # The plan always sums to (at most) the system cost limit.
+    for _, limits in result.collector._plan_points:
+        assert sum(limits.values()) <= system + 1e-6
+
+    # Figure 7's payload covers all three classes.
+    assert set(plans) == {"class1", "class2", "class3"}

@@ -1,0 +1,36 @@
+"""Replication: the headline comparison across seeds.
+
+The paper reports one run per controller.  This bench re-runs the
+(shortened) paper workload under each controller over several seeds and
+reports mean +/- std goal attainment — establishing that the QS > QP >
+no-control ordering on the OLTP class is not a single-seed accident.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.replication import compare, format_comparison
+
+SEEDS = (7, 21, 42)
+CONTROLLERS = ("none", "qp", "qs")
+
+
+def test_controller_ordering_across_seeds(benchmark, report, ablation_config):
+    summaries = run_once(
+        benchmark,
+        lambda: compare(CONTROLLERS, seeds=SEEDS, config=ablation_config),
+    )
+    report("")
+    report("=== Replication: attainment across seeds {} ===".format(SEEDS))
+    report(format_comparison(summaries, ["class1", "class2", "class3"]))
+
+    qs = summaries["qs"]
+    qp = summaries["qp"]
+    none = summaries["none"]
+    # The ordering of mean class-3 attainment must hold across seeds.
+    assert qs.attainment_mean("class3") >= qp.attainment_mean("class3")
+    assert qp.attainment_mean("class3") >= none.attainment_mean("class3") - 0.05
+    assert qs.attainment_mean("class3") > none.attainment_mean("class3")
+    # And QS's advantage exceeds its own across-seed noise.
+    gap = qs.attainment_mean("class3") - none.attainment_mean("class3")
+    assert gap > qs.attainment_std("class3")

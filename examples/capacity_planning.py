@@ -1,0 +1,45 @@
+"""Capacity planning: choose the system cost limit experimentally.
+
+Reproduces the methodology of Section 2: "[the system cost limit] is
+determined experimentally by plotting the curve of the throughput versus
+the system cost limit to ensure the system running in a healthy state or
+under-saturated."  Sweeps candidate limits under a heavy OLAP-only load,
+prints the curve, and picks the knee.
+
+Run with:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.config import default_config
+from repro.experiments.calibration import pick_knee_limit, sweep_system_cost_limit
+
+
+def main() -> None:
+    limits = [10_000.0, 15_000.0, 20_000.0, 25_000.0, 30_000.0, 40_000.0, 50_000.0]
+    print("Sweeping system cost limits under a 32-client OLAP load...")
+    curve = sweep_system_cost_limit(
+        limits,
+        config=default_config(),
+        olap_clients=32,
+        period_seconds=120.0,
+        num_periods=3,
+        warmup_periods=1,
+    )
+
+    print()
+    print("{:>12} | {:>12} | {}".format("limit (tim)", "queries/sec", "bar"))
+    print("-" * 60)
+    peak = max(t for _, t in curve)
+    for limit, throughput in curve:
+        bar = "#" * int(30 * throughput / peak) if peak > 0 else ""
+        print("{:>12.0f} | {:>12.4f} | {}".format(limit, throughput, bar))
+
+    knee = pick_knee_limit(curve, tolerance=0.05)
+    print()
+    print("Suggested system cost limit (throughput knee): {:.0f} timerons".format(knee))
+    print("The paper chose 30,000 timerons for its testbed the same way.")
+
+
+if __name__ == "__main__":
+    main()

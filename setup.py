@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that legacy editable
+installs (``pip install -e . --no-use-pep517``) work on machines without the
+``wheel`` package — e.g. fully offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — reproduction of *Adapting Mixed Workloads to Meet SLOs in
+Autonomic DBMSs* (Niu, Martin, Powley, Bird, Horman; ICDE 2007).
+
+The package implements the paper's Query Scheduler framework — cost-based
+workload adaptation with indirect OLTP control — on a fully simulated
+DB2-like substrate.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import run_experiment
+
+    result = run_experiment(controller="qs")
+    print(result.goal_attainment())
+"""
+
+from repro.config import (
+    PAPER_CLASSES,
+    SimulationConfig,
+    default_config,
+)
+from repro.core import (
+    DirectScheduler,
+    MPLController,
+    NoControlController,
+    QPPriorityController,
+    QueryScheduler,
+    ResponseTimeGoal,
+    SchedulingPlan,
+    ServiceClass,
+    VelocityGoal,
+    WorkloadDetector,
+)
+from repro.core.service_class import paper_classes
+from repro.errors import (
+    ConfigurationError,
+    PatrollerError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.experiments import (
+    build_bundle,
+    compare,
+    fit_oltp_slope,
+    replicate,
+    run_experiment,
+    sweep,
+    sweep_system_cost_limit,
+)
+from repro.workloads import paper_schedule, tpcc_mix, tpch_mix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SimulationConfig",
+    "default_config",
+    "PAPER_CLASSES",
+    "paper_classes",
+    "QueryScheduler",
+    "NoControlController",
+    "QPPriorityController",
+    "MPLController",
+    "DirectScheduler",
+    "WorkloadDetector",
+    "ServiceClass",
+    "VelocityGoal",
+    "ResponseTimeGoal",
+    "SchedulingPlan",
+    "run_experiment",
+    "build_bundle",
+    "sweep_system_cost_limit",
+    "fit_oltp_slope",
+    "replicate",
+    "compare",
+    "sweep",
+    "paper_schedule",
+    "tpch_mix",
+    "tpcc_mix",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "WorkloadError",
+    "PatrollerError",
+]

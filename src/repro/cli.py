@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro run        # run a controller on the paper workload
+    python -m repro calibrate  # throughput-vs-system-cost-limit sweep
+    python -m repro figure     # regenerate one of the paper's figures
+
+Every command prints the same ASCII tables the benchmark harness uses, so
+the CLI is the quickest way to poke at the system without writing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import (
+    MonitorConfig,
+    PlannerConfig,
+    WorkloadScaleConfig,
+    default_config,
+)
+from repro.experiments.calibration import pick_knee_limit, sweep_system_cost_limit
+from repro.experiments.figures import figure2, figure3
+from repro.experiments.runner import CONTROLLER_NAMES, run_experiment
+from repro.metrics.report import (
+    format_figure_series,
+    format_period_table,
+    format_plan_table,
+    format_summary,
+    render_series_chart,
+)
+
+
+def _build_config(args: argparse.Namespace):
+    return default_config(
+        seed=args.seed,
+        scale=WorkloadScaleConfig(
+            period_seconds=args.period_seconds, num_periods=args.periods
+        ),
+        monitor=MonitorConfig(
+            snapshot_interval=10.0,
+            response_time_window=max(args.control_interval / 2.0, 10.0),
+        ),
+        planner=PlannerConfig(control_interval=args.control_interval),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    result = run_experiment(controller=args.controller, config=config)
+    if args.output:
+        from repro.metrics.export import save_result
+
+        save_result(result, args.output)
+        print("wrote {}".format(args.output))
+    controller = result.bundle.controller
+    describe = getattr(controller, "describe", None)
+    if describe is not None:
+        print(describe())
+    print()
+    print(format_period_table(result.collector, result.classes,
+                              title="Per-period goal metrics"))
+    print()
+    print(format_summary(result.collector, result.classes, title="Attainment"))
+    if args.controller in ("qs", "qs_detect"):
+        print()
+        print(format_plan_table(
+            result.collector,
+            [c.name for c in result.classes],
+            title="Class cost limits (period means, timerons)",
+        ))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    config = default_config(seed=args.seed)
+    curve = sweep_system_cost_limit(
+        args.limits,
+        config=config,
+        olap_clients=args.clients,
+        period_seconds=args.period_seconds,
+        num_periods=3,
+        warmup_periods=1,
+    )
+    print("{:>12} | {:>12}".format("limit (tim)", "queries/sec"))
+    print("-" * 28)
+    for limit, throughput in curve:
+        print("{:>12.0f} | {:>12.4f}".format(limit, throughput))
+    knee = pick_knee_limit(curve, tolerance=0.05)
+    print("suggested system cost limit (knee): {:.0f}".format(knee))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    number = args.number
+    if number == 2:
+        data = figure2(
+            config=default_config(seed=args.seed),
+            period_seconds=args.period_seconds,
+            num_periods=3,
+            warmup_periods=1,
+        )
+        for pair, series in data.items():
+            print("clients (oltp, olap) = {}:".format(pair))
+            for limit, rt in series:
+                print("  {:>8.0f} timerons -> {:.3f}s".format(
+                    limit, rt if rt is not None else float("nan")))
+        return 0
+    if number == 3:
+        counts = figure3(args.period_seconds)
+        print(format_figure_series(
+            {name: list(map(float, series)) for name, series in counts.items()},
+            x_label="period",
+            title="Figure 3: clients per period",
+            digits=0,
+        ))
+        return 0
+    if number in (4, 5, 6, 7):
+        controller = {4: "none", 5: "qp", 6: "qs", 7: "qs"}[number]
+        result = run_experiment(controller=controller, config=config)
+        print(format_period_table(
+            result.collector, result.classes,
+            title="Figure {}: controller={}".format(number, controller),
+        ))
+        print()
+        print(render_series_chart(
+            {c.name: result.collector.performance_series(c) for c in result.classes},
+            goal_lines={c.name: c.goal.target for c in result.classes},
+            title="goal metrics per period (velocity / seconds)",
+        ))
+        if number == 7:
+            print()
+            print(format_plan_table(
+                result.collector,
+                [c.name for c in result.classes],
+                title="Figure 7: class cost limits (period means)",
+            ))
+        return 0
+    print("unknown figure {}; expected 2-7".format(number), file=sys.stderr)
+    return 2
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.reportgen import quick_report_config, write_report
+
+    config = quick_report_config().with_updates(seed=args.seed)
+    text = write_report(args.output, config=config)
+    print("wrote {} ({} lines)".format(args.output, text.count("\n") + 1))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Adapting Mixed Workloads to Meet SLOs "
+                    "in Autonomic DBMSs' (ICDE 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run a controller on the paper workload")
+    run_parser.add_argument("--controller", choices=CONTROLLER_NAMES, default="qs")
+    run_parser.add_argument("--periods", type=int, default=9)
+    run_parser.add_argument("--period-seconds", type=float, default=120.0)
+    run_parser.add_argument("--control-interval", type=float, default=60.0)
+    run_parser.add_argument("--seed", type=int, default=7)
+    run_parser.add_argument(
+        "--output", default=None,
+        help="write results to a .json or .csv file",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    cal_parser = sub.add_parser("calibrate", help="throughput vs system cost limit")
+    cal_parser.add_argument(
+        "--limits", type=float, nargs="+",
+        default=[10_000, 20_000, 30_000, 40_000, 50_000],
+    )
+    cal_parser.add_argument("--clients", type=int, default=32)
+    cal_parser.add_argument("--period-seconds", type=float, default=120.0)
+    cal_parser.add_argument("--seed", type=int, default=7)
+    cal_parser.set_defaults(func=_cmd_calibrate)
+
+    fig_parser = sub.add_parser("figure", help="regenerate a paper figure (2-7)")
+    fig_parser.add_argument("number", type=int)
+    fig_parser.add_argument("--periods", type=int, default=9)
+    fig_parser.add_argument("--period-seconds", type=float, default=120.0)
+    fig_parser.add_argument("--control-interval", type=float, default=60.0)
+    fig_parser.add_argument("--seed", type=int, default=7)
+    fig_parser.set_defaults(func=_cmd_figure)
+
+    report_parser = sub.add_parser(
+        "report", help="run the figure 4/5/6/7 comparison, write a Markdown report"
+    )
+    report_parser.add_argument("--output", default="experiment_report.md")
+    report_parser.add_argument("--seed", type=int, default=7)
+    report_parser.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""The Query Scheduler — the paper's primary contribution.
+
+This subpackage implements the workload adaptation framework of Section 2
+and its mixed-workload extension of Section 3: service classes with
+per-class goals and business importance, the Monitor / Classifier /
+Dispatcher / Scheduling Planner / Performance Solver pipeline of Figure 1,
+the OLAP velocity and OLTP linear performance models, utility-function
+objectives, and the baseline controllers the paper compares against.
+"""
+
+from repro.core.classifier import Classifier
+from repro.core.controllers import (
+    Controller,
+    NoControlController,
+    QPPriorityController,
+)
+from repro.core.detection import (
+    ShiftEvent,
+    WorkloadCharacterization,
+    WorkloadDetector,
+)
+from repro.core.direct import DirectScheduler, EngineGate
+from repro.core.heuristic import DeficitAllocator
+from repro.core.dispatcher import Dispatcher
+from repro.core.models import OLAPVelocityModel, OLTPResponseTimeModel
+from repro.core.monitor import ClassMeasurement, Monitor
+from repro.core.mpl import MPLController
+from repro.core.plan import SchedulingPlan
+from repro.core.planner import SchedulingPlanner
+from repro.core.scheduler import QueryScheduler
+from repro.core.service_class import (
+    PerformanceGoal,
+    ResponseTimeGoal,
+    ServiceClass,
+    VelocityGoal,
+)
+from repro.core.solver import PerformanceSolver
+from repro.core.utility import (
+    PiecewiseLinearUtility,
+    SigmoidUtility,
+    StepUtility,
+    UtilityFunction,
+    make_utility,
+)
+
+__all__ = [
+    "QueryScheduler",
+    "ServiceClass",
+    "PerformanceGoal",
+    "VelocityGoal",
+    "ResponseTimeGoal",
+    "SchedulingPlan",
+    "Classifier",
+    "Monitor",
+    "ClassMeasurement",
+    "Dispatcher",
+    "SchedulingPlanner",
+    "PerformanceSolver",
+    "OLAPVelocityModel",
+    "OLTPResponseTimeModel",
+    "UtilityFunction",
+    "PiecewiseLinearUtility",
+    "SigmoidUtility",
+    "StepUtility",
+    "make_utility",
+    "Controller",
+    "NoControlController",
+    "QPPriorityController",
+    "MPLController",
+    "DirectScheduler",
+    "EngineGate",
+    "WorkloadDetector",
+    "WorkloadCharacterization",
+    "ShiftEvent",
+    "DeficitAllocator",
+]

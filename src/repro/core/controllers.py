@@ -1,0 +1,156 @@
+"""Baseline controllers the paper compares the Query Scheduler against.
+
+* :class:`NoControlController` — Section 4.2.1: "no control was exerted over
+  the workload except for the system cost limit".  Every OLAP query is still
+  intercepted, but the only release rule is the single system-wide cost
+  limit, FIFO, no differentiation.
+* :class:`QPPriorityController` — Section 4.2.2: DB2 Query Patroller's own
+  static strategy: OLAP queries partitioned into large/medium/small cost
+  groups (top 5% / next 15% / rest) with fixed concurrency slots, a static
+  OLAP cost limit, and optional submitter priorities (Class 2 above
+  Class 1).  QP "is turned off" for the OLTP class in both baselines, just
+  as for the Query Scheduler.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence
+
+from repro.core.service_class import ServiceClass
+from repro.dbms.engine import DatabaseEngine
+from repro.errors import ConfigurationError
+from repro.patroller.patroller import QueryPatroller
+from repro.patroller.policy import QPStaticPolicy, standard_groups
+
+
+class Controller(ABC):
+    """Common interface of every workload controller in the experiments."""
+
+    #: Short identifier used by the experiment runner and reports.
+    name: str = ""
+
+    @abstractmethod
+    def start(self) -> None:
+        """Activate the controller (install handlers, start loops)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """One-line description for reports."""
+
+
+def _configure_interception(
+    patroller: QueryPatroller, classes: Sequence[ServiceClass]
+) -> None:
+    """QP on for OLAP classes, off for the OLTP class (every experiment)."""
+    for service_class in classes:
+        if service_class.directly_controlled:
+            patroller.enable_for_class(service_class.name)
+        else:
+            patroller.disable_for_class(service_class.name)
+
+
+class NoControlController(Controller):
+    """Only the system cost limit; no class differentiation."""
+
+    name = "no_control"
+
+    def __init__(
+        self,
+        patroller: QueryPatroller,
+        engine: DatabaseEngine,
+        classes: Sequence[ServiceClass],
+        system_cost_limit: float,
+    ) -> None:
+        if system_cost_limit <= 0:
+            raise ConfigurationError("system_cost_limit must be positive")
+        self.patroller = patroller
+        self.engine = engine
+        self.classes = list(classes)
+        self.system_cost_limit = system_cost_limit
+        self.policy: Optional[QPStaticPolicy] = None
+
+    def start(self) -> None:
+        _configure_interception(self.patroller, self.classes)
+        self.policy = QPStaticPolicy(
+            patroller=self.patroller,
+            engine=self.engine,
+            groups=[],
+            priorities={},
+            global_cost_limit=self.system_cost_limit,
+        )
+
+    def describe(self) -> str:
+        return "No class control (system cost limit {:.0f} timerons only)".format(
+            self.system_cost_limit
+        )
+
+
+class QPPriorityController(Controller):
+    """DB2 QP static control: cost groups + priorities + static OLAP limit."""
+
+    name = "qp_priority"
+
+    def __init__(
+        self,
+        patroller: QueryPatroller,
+        engine: DatabaseEngine,
+        classes: Sequence[ServiceClass],
+        historical_costs: Sequence[float],
+        static_olap_limit: float,
+        priority_control: bool = True,
+        small_slots: int = 10,
+        medium_slots: int = 3,
+        large_slots: int = 1,
+    ) -> None:
+        if static_olap_limit <= 0:
+            raise ConfigurationError("static_olap_limit must be positive")
+        if not historical_costs:
+            raise ConfigurationError(
+                "QP group thresholds need a historical cost sample"
+            )
+        self.patroller = patroller
+        self.engine = engine
+        self.classes = list(classes)
+        self.historical_costs = list(historical_costs)
+        self.static_olap_limit = static_olap_limit
+        self.priority_control = priority_control
+        self.small_slots = small_slots
+        self.medium_slots = medium_slots
+        self.large_slots = large_slots
+        self.policy: Optional[QPStaticPolicy] = None
+
+    def _priorities(self) -> Dict[str, int]:
+        if not self.priority_control:
+            return {}
+        # Submitter priority mirrors business importance among OLAP classes
+        # (the paper sets Class 2's priority above Class 1's).
+        return {
+            c.name: int(c.importance)
+            for c in self.classes
+            if c.directly_controlled
+        }
+
+    def start(self) -> None:
+        _configure_interception(self.patroller, self.classes)
+        groups = standard_groups(
+            self.historical_costs,
+            small_slots=self.small_slots,
+            medium_slots=self.medium_slots,
+            large_slots=self.large_slots,
+        )
+        self.policy = QPStaticPolicy(
+            patroller=self.patroller,
+            engine=self.engine,
+            groups=groups,
+            priorities=self._priorities(),
+            global_cost_limit=self.static_olap_limit,
+        )
+
+    def describe(self) -> str:
+        return (
+            "DB2 QP static control (groups 5%/15%/80%, priorities {}, "
+            "static OLAP limit {:.0f})".format(
+                "on" if self.priority_control else "off", self.static_olap_limit
+            )
+        )

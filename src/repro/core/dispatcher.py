@@ -1,0 +1,217 @@
+"""The Dispatcher.
+
+"The Dispatcher receives a scheduling plan from the Scheduling Planner and
+releases the queries in the class queues according to the plan ... as long
+as the addition of a new query does not mean that the cost limit for the
+query's class is exceeded.  The Dispatcher releases a query for execution by
+calling the unblocking API provided by DB2 QP" (Section 2).
+
+Per class the dispatcher keeps a queue and the estimated cost currently in
+flight.  Indirectly controlled classes (the OLTP class) are never queued:
+their plan limit is a capacity *reservation* that shrinks what the OLAP
+classes may use, not a gate (Section 3).
+
+Within-class ordering is a design axis the paper leaves implicit (FIFO);
+three *queue disciplines* are provided:
+
+* ``"fifo"`` — arrival order (the paper's behaviour; default);
+* ``"sjf"`` — cheapest estimated cost first, which packs more queries under
+  a tight limit and lifts mean velocity at the tail's expense;
+* ``"aging"`` — cost discounted by waiting time, a compromise that keeps
+  monsters from starving under SJF.
+
+One deliberate liveness rule beyond the paper's text: a query whose
+estimated cost alone exceeds its class limit is released when the class has
+nothing in flight, so a mis-estimated monster cannot wedge its class forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Accepted queue disciplines.
+DISCIPLINES = ("fifo", "sjf", "aging")
+
+#: Timerons of effective-cost discount per second of waiting ("aging").
+_AGING_RATE = 50.0
+
+from repro.core.plan import SchedulingPlan
+from repro.core.service_class import ServiceClass
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.query import Query, QueryState
+from repro.errors import SchedulingError
+from repro.patroller.patroller import QueryPatroller
+
+
+class _ClassState:
+    """Dispatcher-side bookkeeping for one service class."""
+
+    __slots__ = ("service_class", "queue", "in_flight_cost", "in_flight_count", "released")
+
+    def __init__(self, service_class: ServiceClass) -> None:
+        self.service_class = service_class
+        self.queue: List[Query] = []
+        self.in_flight_cost = 0.0
+        self.in_flight_count = 0
+        self.released = 0
+
+
+class Dispatcher:
+    """Releases queued queries under the active plan's class cost limits."""
+
+    def __init__(
+        self,
+        patroller: QueryPatroller,
+        engine: DatabaseEngine,
+        classes: List[ServiceClass],
+        initial_plan: SchedulingPlan,
+        discipline: str = "fifo",
+    ) -> None:
+        if discipline not in DISCIPLINES:
+            raise SchedulingError(
+                "unknown queue discipline {!r}; expected one of {}".format(
+                    discipline, DISCIPLINES
+                )
+            )
+        self.patroller = patroller
+        self.engine = engine
+        self.discipline = discipline
+        self._states: Dict[str, _ClassState] = {
+            c.name: _ClassState(c) for c in classes
+        }
+        for name in initial_plan:
+            if name not in self._states:
+                raise SchedulingError(
+                    "plan covers unknown class {!r}".format(name)
+                )
+        self._plan = initial_plan
+        engine.add_completion_listener(self._on_completion)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> SchedulingPlan:
+        """The currently active scheduling plan."""
+        return self._plan
+
+    def queue_length(self, class_name: str) -> int:
+        """Queries of the class waiting for release."""
+        return len(self._state(class_name).queue)
+
+    def in_flight_cost(self, class_name: str) -> float:
+        """Estimated cost of the class's released-but-unfinished queries."""
+        return self._state(class_name).in_flight_cost
+
+    def in_flight_count(self, class_name: str) -> int:
+        """Number of the class's released-but-unfinished queries."""
+        return self._state(class_name).in_flight_count
+
+    def released_count(self, class_name: str) -> int:
+        """Total queries of the class released so far."""
+        return self._state(class_name).released
+
+    def _state(self, class_name: str) -> _ClassState:
+        state = self._states.get(class_name)
+        if state is None:
+            raise SchedulingError("dispatcher knows no class {!r}".format(class_name))
+        return state
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+    def install_plan(self, plan: SchedulingPlan) -> int:
+        """Adopt a new plan; releases anything the new limits now allow.
+
+        Returns the number of queries released as a direct consequence.
+        In-flight queries are never revoked — a lowered limit simply stops
+        further releases until enough queries drain (Section 2's semantics).
+        """
+        for name in plan:
+            if name not in self._states:
+                raise SchedulingError("plan covers unknown class {!r}".format(name))
+        self._plan = plan
+        return self._release_eligible()
+
+    def enqueue(self, query: Query) -> None:
+        """Queue a classified, intercepted query for release."""
+        state = self._state(query.class_name)
+        if not state.service_class.directly_controlled:
+            raise SchedulingError(
+                "class {!r} is indirectly controlled; its queries must bypass "
+                "interception".format(query.class_name)
+            )
+        state.queue.append(query)
+        self._release_eligible_for(state)
+
+    # ------------------------------------------------------------------
+    # Release machinery
+    # ------------------------------------------------------------------
+    def _limit_for(self, state: _ClassState) -> Optional[float]:
+        if state.service_class.name in self._plan:
+            return self._plan.limit(state.service_class.name)
+        return None
+
+    def _select_index(self, state: _ClassState) -> Optional[int]:
+        """Pick which queued query the discipline would release next."""
+        queue = state.queue
+        if not queue:
+            return None
+        if self.discipline == "fifo":
+            return 0
+        now = self.patroller.sim.now
+        if self.discipline == "sjf":
+            return min(range(len(queue)), key=lambda i: queue[i].estimated_cost)
+
+        def aged_cost(index: int) -> float:
+            query = queue[index]
+            waited = now - (query.queue_time if query.queue_time is not None else now)
+            return query.estimated_cost - _AGING_RATE * waited
+
+        return min(range(len(queue)), key=aged_cost)
+
+    def _release_eligible_for(self, state: _ClassState) -> int:
+        limit = self._limit_for(state)
+        released = 0
+        while state.queue:
+            # Purge abandoned queries first (QP cancel); drop silently.
+            state.queue = [
+                q for q in state.queue if q.state != QueryState.CANCELLED
+            ]
+            index = self._select_index(state)
+            if index is None:
+                break
+            query = state.queue[index]
+            if limit is not None:
+                fits = state.in_flight_cost + query.estimated_cost <= limit
+                alone = state.in_flight_count == 0
+                if not fits and not alone:
+                    break
+            state.queue.pop(index)
+            state.in_flight_cost += query.estimated_cost
+            state.in_flight_count += 1
+            state.released += 1
+            self.patroller.release(query)
+            released += 1
+        return released
+
+    def _release_eligible(self) -> int:
+        released = 0
+        for state in self._states.values():
+            if state.service_class.directly_controlled:
+                released += self._release_eligible_for(state)
+        return released
+
+    def _on_completion(self, query: Query) -> None:
+        state = self._states.get(query.class_name)
+        if state is None or not state.service_class.directly_controlled:
+            return
+        if state.in_flight_count <= 0:
+            # Completion of a query this dispatcher never released (e.g. a
+            # different controller ran earlier in the same engine) — ignore.
+            return
+        state.in_flight_cost -= query.estimated_cost
+        state.in_flight_count -= 1
+        if state.in_flight_cost < 0:
+            state.in_flight_cost = 0.0
+        self._release_eligible_for(state)

@@ -1,0 +1,225 @@
+"""The Monitor.
+
+"The Monitor collects the information about the query from the DB2 QP
+control tables, including the query identification, query cost and query
+execution information.  The Monitor passes the query information to the
+Classifier and to the Scheduling Planner" (Section 2).
+
+Two measurement paths, one per metric (Section 3.1):
+
+* **OLAP query velocity** — computed from queries of the class that
+  completed within a sliding window, blended with the *instantaneous*
+  velocity of queries still in the system (time-executing over
+  time-in-system).  The blend matters because scaled-down OLAP queries
+  complete only a few times per control interval: without the in-flight
+  signal, a class whose queue is stalled would keep reporting its last happy
+  measurement forever.
+* **OLTP average response time** — the paper turns QP off for the OLTP
+  class, so the Monitor samples the DB2 snapshot monitor at a fixed interval
+  and averages the most recent response time of every OLTP client
+  (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.config import MonitorConfig
+from repro.core.service_class import ServiceClass
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.query import Query, QueryState
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+from repro.sim.stats import SlidingWindow
+
+
+class ClassMeasurement(NamedTuple):
+    """One per-class performance measurement handed to the planner."""
+
+    class_name: str
+    metric: str  # "velocity" or "response_time"
+    value: float
+    sample_count: int
+    measured_at: float
+
+
+class Monitor:
+    """Collects per-class performance measurements for the planner."""
+
+    #: Queries younger than this (seconds in system) are excluded from the
+    #: in-flight velocity blend; their ratio is numerically meaningless.
+    MIN_IN_FLIGHT_AGE = 5.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: DatabaseEngine,
+        classes: List[ServiceClass],
+        config: MonitorConfig,
+    ) -> None:
+        config.validate()
+        self.sim = sim
+        self.engine = engine
+        self.config = config
+        self._classes: Dict[str, ServiceClass] = {c.name: c for c in classes}
+        self._open: Dict[int, Query] = {}
+        # Completed-velocity samples per OLAP class: (finish_time, velocity).
+        self._velocity_samples: Dict[str, SlidingWindow] = {
+            c.name: SlidingWindow(capacity=512) for c in classes if c.kind == "olap"
+        }
+        # Snapshot-sampled average response time per OLTP class.
+        self._rt_samples: Dict[str, SlidingWindow] = {
+            c.name: SlidingWindow(capacity=256) for c in classes if c.kind == "oltp"
+        }
+        self._last_measurement: Dict[str, ClassMeasurement] = {}
+        self._snapshots_taken = 0
+        self._started = False
+        self._forward: Optional[Callable[[Query], None]] = None
+        engine.add_completion_listener(self._on_completion)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_forward(self, forward: Callable[[Query], None]) -> None:
+        """Where intercepted queries go next (Classifier -> Dispatcher)."""
+        self._forward = forward
+
+    def on_intercepted(self, query: Query) -> None:
+        """QP release-handler hook: record the arrival, pass it on."""
+        self._open[query.query_id] = query
+        if self._forward is None:
+            raise SchedulingError("monitor has no forward target installed")
+        self._forward(query)
+
+    def start(self) -> None:
+        """Begin periodic OLTP snapshot sampling."""
+        if self._started:
+            raise SchedulingError("monitor started twice")
+        self._started = True
+        if self._rt_samples:
+            self.sim.schedule(
+                self.config.snapshot_interval,
+                self._take_snapshot,
+                label="monitor:snapshot",
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def snapshots_taken(self) -> int:
+        """Number of snapshot-sampling rounds performed."""
+        return self._snapshots_taken
+
+    @property
+    def open_queries(self) -> int:
+        """Intercepted queries not yet completed."""
+        return len(self._open)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_completion(self, query: Query) -> None:
+        self._open.pop(query.query_id, None)
+        window = self._velocity_samples.get(query.class_name)
+        if window is not None and query.kind == "olap":
+            window.add(query.finish_time, query.velocity)
+
+    def _take_snapshot(self) -> None:
+        self._snapshots_taken += 1
+        now = self.sim.now
+        # Ignore connections idle for several sampling rounds: their "last
+        # statement" predates the current workload intensity.
+        staleness_cutoff = now - 3.0 * self.config.snapshot_interval
+        for class_name in self._rt_samples:
+            average = self.engine.snapshot_monitor.average_response_time(
+                class_name=class_name, since=staleness_cutoff
+            )
+            if average is not None:
+                self._rt_samples[class_name].add(now, average)
+        self.sim.schedule(
+            self.config.snapshot_interval,
+            self._take_snapshot,
+            label="monitor:snapshot",
+        )
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def measure(self, class_name: str) -> Optional[ClassMeasurement]:
+        """Current measurement for a class (None if nothing observed yet)."""
+        service_class = self._classes.get(class_name)
+        if service_class is None:
+            raise SchedulingError("monitor knows no class {!r}".format(class_name))
+        if service_class.kind == "olap":
+            measurement = self._measure_velocity(service_class)
+        else:
+            measurement = self._measure_response_time(service_class)
+        if measurement is not None:
+            self._last_measurement[class_name] = measurement
+            return measurement
+        return self._last_measurement.get(class_name)
+
+    def measure_all(self) -> Dict[str, ClassMeasurement]:
+        """Measurements for every class that has one."""
+        results = {}
+        for name in self._classes:
+            measurement = self.measure(name)
+            if measurement is not None:
+                results[name] = measurement
+        return results
+
+    def _measure_velocity(self, service_class: ServiceClass) -> Optional[ClassMeasurement]:
+        now = self.sim.now
+        window = self._velocity_samples[service_class.name]
+        window.evict_older_than(now - self.config.velocity_window)
+        values = window.values()
+        # Blend in queries currently in the system (released or queued):
+        # their velocity-so-far is the freshest signal of queueing pressure.
+        cancelled = [
+            qid for qid, q in self._open.items() if q.state == QueryState.CANCELLED
+        ]
+        for qid in cancelled:
+            del self._open[qid]
+        for query in self._open.values():
+            if query.class_name != service_class.name:
+                continue
+            if query.submit_time is None:
+                continue
+            age = now - query.submit_time
+            if age < self.MIN_IN_FLIGHT_AGE:
+                continue
+            if query.release_time is not None and query.state in (
+                QueryState.RELEASED,
+                QueryState.EXECUTING,
+            ):
+                executing = now - query.release_time
+            else:
+                executing = 0.0
+            values.append(min(1.0, executing / age))
+        if not values:
+            return None
+        return ClassMeasurement(
+            class_name=service_class.name,
+            metric="velocity",
+            value=sum(values) / len(values),
+            sample_count=len(values),
+            measured_at=now,
+        )
+
+    def _measure_response_time(
+        self, service_class: ServiceClass
+    ) -> Optional[ClassMeasurement]:
+        now = self.sim.now
+        window = self._rt_samples[service_class.name]
+        # Average the snapshot samples of (roughly) one control interval.
+        window.evict_older_than(now - self.config.response_time_window)
+        if len(window) == 0:
+            return None
+        return ClassMeasurement(
+            class_name=service_class.name,
+            metric="response_time",
+            value=window.mean,
+            sample_count=len(window),
+            measured_at=now,
+        )

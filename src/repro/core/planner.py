@@ -1,0 +1,184 @@
+"""The Scheduling Planner.
+
+"The Scheduling Planner consults with the Performance Solver at regular
+intervals to determine an optimal scheduling plan, and passes this plan to
+the Dispatcher" (Section 2).  Each control interval the planner:
+
+1. collects per-class measurements from the Monitor;
+2. feeds the OLTP model one (Δ limit, Δ response time) regression
+   observation from the interval that just ended (Section 3.2);
+3. asks the solver for the utility-optimal plan given the measurements and
+   the active limits;
+4. installs the plan on the dispatcher and records it (the record is what
+   Figure 7 plots).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.config import PlannerConfig
+from repro.core.dispatcher import Dispatcher
+from repro.core.models import OLTPResponseTimeModel
+from repro.core.monitor import ClassMeasurement, Monitor
+from repro.core.plan import SchedulingPlan
+from repro.core.service_class import ServiceClass
+from repro.core.solver import ClassStatus, PerformanceSolver
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+
+
+class PlanRecord(NamedTuple):
+    """One control-interval decision, kept for analysis and Figure 7."""
+
+    time: float
+    plan: SchedulingPlan
+    measurements: Dict[str, ClassMeasurement]
+
+
+PlanListener = Callable[[PlanRecord], None]
+
+
+class SchedulingPlanner:
+    """Closed control loop: measure -> model -> solve -> install."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        monitor: Monitor,
+        dispatcher: Dispatcher,
+        solver: PerformanceSolver,
+        classes: List[ServiceClass],
+        config: PlannerConfig,
+    ) -> None:
+        config.validate()
+        self.sim = sim
+        self.monitor = monitor
+        self.dispatcher = dispatcher
+        self.solver = solver
+        self.config = config
+        self.classes = list(classes)
+        oltp_classes = [c for c in self.classes if c.kind == "oltp"]
+        if len(oltp_classes) > 1:
+            raise SchedulingError(
+                "the paper's framework models a single OLTP class; got {}".format(
+                    [c.name for c in oltp_classes]
+                )
+            )
+        self._oltp_class: Optional[ServiceClass] = (
+            oltp_classes[0] if oltp_classes else None
+        )
+        self.history: List[PlanRecord] = []
+        self._listeners: List[PlanListener] = []
+        self._previous_oltp: Optional[ClassMeasurement] = None
+        self._started = False
+        self._intervals = 0
+        self._last_interval_at: Optional[float] = None
+        self.early_triggers = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def oltp_model(self) -> Optional[OLTPResponseTimeModel]:
+        """The solver's OLTP response-time model (None for model-free
+        allocators like the deficit heuristic)."""
+        return getattr(self.solver, "oltp_model", None)
+
+    @property
+    def intervals_run(self) -> int:
+        """Control intervals executed so far."""
+        return self._intervals
+
+    def add_plan_listener(self, listener: PlanListener) -> None:
+        """Subscribe to every plan decision."""
+        self._listeners.append(listener)
+
+    def start(self) -> None:
+        """Schedule the recurring control loop."""
+        if self._started:
+            raise SchedulingError("planner started twice")
+        self._started = True
+        self.sim.schedule(
+            self.config.control_interval, self._tick, label="planner:tick"
+        )
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._intervals += 1
+        self.run_interval()
+        self.sim.schedule(
+            self.config.control_interval, self._tick, label="planner:tick"
+        )
+
+    def trigger_early(self, min_spacing: Optional[float] = None) -> bool:
+        """Run an off-schedule control interval now (detection hook).
+
+        Workload detection (Section 2) can request immediate re-planning
+        when it sees an intensity shift, instead of waiting out the fixed
+        interval.  ``min_spacing`` (default: a quarter interval) rate-limits
+        back-to-back triggers.  Returns True if an interval actually ran.
+        """
+        if min_spacing is None:
+            min_spacing = self.config.control_interval / 4.0
+        now = self.sim.now
+        if self._last_interval_at is not None and now - self._last_interval_at < min_spacing:
+            return False
+        self.early_triggers += 1
+        self.run_interval()
+        return True
+
+    def run_interval(self) -> PlanRecord:
+        """One control-interval decision (public for tests and manual use)."""
+        now = self.sim.now
+        self._last_interval_at = now
+        measurements = self.monitor.measure_all()
+        self._update_regression(measurements)
+        statuses = [
+            ClassStatus(
+                service_class=service_class,
+                current_limit=self.dispatcher.plan.limit(service_class.name),
+                current_value=self._value_of(measurements, service_class.name),
+            )
+            for service_class in self.classes
+        ]
+        plan = self.solver.solve(statuses, now=now)
+        self.dispatcher.install_plan(plan)
+        if self._oltp_class is not None:
+            self._previous_oltp = measurements.get(self._oltp_class.name)
+        record = PlanRecord(time=now, plan=plan, measurements=measurements)
+        self.history.append(record)
+        for listener in self._listeners:
+            listener(record)
+        return record
+
+    @staticmethod
+    def _value_of(
+        measurements: Dict[str, ClassMeasurement], class_name: str
+    ) -> Optional[float]:
+        measurement = measurements.get(class_name)
+        return measurement.value if measurement is not None else None
+
+    def _update_regression(self, measurements: Dict[str, ClassMeasurement]) -> None:
+        """Feed the OLTP model the (Δ limit, Δ response time) of last interval.
+
+        Only active with ``config.online_regression``; the paper uses the
+        offline regression constant (Section 3.2).
+        """
+        if not self.config.online_regression:
+            return
+        if self._oltp_class is None or self.oltp_model is None:
+            return
+        current = measurements.get(self._oltp_class.name)
+        if current is None or self._previous_oltp is None or len(self.history) < 2:
+            return
+        # The limit active during the interval that just ended was installed
+        # by the last tick; the one before it by the tick before that.
+        name = self._oltp_class.name
+        delta_limit = self.history[-1].plan.limit(name) - self.history[-2].plan.limit(
+            name
+        )
+        delta_rt = current.value - self._previous_oltp.value
+        self.oltp_model.observe(delta_limit, delta_rt)

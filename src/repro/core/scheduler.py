@@ -1,0 +1,165 @@
+"""The Query Scheduler facade (paper Figure 1).
+
+Wires the full pipeline onto a database engine and its Query Patroller:
+
+* QP intercepts queries of the directly controlled (OLAP) classes and hands
+  them to the **Monitor**;
+* the **Classifier** assigns each query to its service class and places it
+  in the class queue of the **Dispatcher**;
+* the **Scheduling Planner** periodically consults the **Performance
+  Solver** (utility maximisation over the performance models) and installs
+  the resulting plan on the Dispatcher;
+* the Dispatcher releases queries under the class cost limits through QP's
+  unblocking API.
+
+The OLTP class is never intercepted (QP is "turned off" for it); its plan
+limit acts purely as a reservation that bounds the OLAP classes — the
+paper's indirect control (Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import SimulationConfig
+from repro.core.classifier import Classifier
+from repro.core.detection import WorkloadDetector
+from repro.core.heuristic import DeficitAllocator
+from repro.core.dispatcher import Dispatcher
+from repro.core.models import OLTPResponseTimeModel
+from repro.core.monitor import Monitor
+from repro.core.plan import SchedulingPlan
+from repro.core.planner import SchedulingPlanner
+from repro.core.service_class import ServiceClass
+from repro.core.solver import PerformanceSolver
+from repro.core.utility import make_utility
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.query import Query
+from repro.errors import SchedulingError
+from repro.patroller.patroller import QueryPatroller
+from repro.sim.engine import Simulator
+
+
+class QueryScheduler:
+    """The paper's prototype: dynamic cost-based workload adaptation."""
+
+    name = "query_scheduler"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: DatabaseEngine,
+        patroller: QueryPatroller,
+        classes: List[ServiceClass],
+        config: SimulationConfig,
+        initial_plan: Optional[SchedulingPlan] = None,
+    ) -> None:
+        config.validate()
+        if not classes:
+            raise SchedulingError("QueryScheduler needs at least one service class")
+        self.sim = sim
+        self.engine = engine
+        self.patroller = patroller
+        self.classes = list(classes)
+        self.config = config
+
+        for service_class in self.classes:
+            if service_class.directly_controlled:
+                patroller.enable_for_class(service_class.name)
+            else:
+                patroller.disable_for_class(service_class.name)
+
+        if initial_plan is None:
+            initial_plan = SchedulingPlan.even_split(
+                [c.name for c in self.classes],
+                config.system_cost_limit,
+                created_at=sim.now,
+            )
+        self.classifier = Classifier(self.classes)
+        self.dispatcher = Dispatcher(
+            patroller,
+            engine,
+            self.classes,
+            initial_plan,
+            discipline=config.planner.queue_discipline,
+        )
+        self.monitor = Monitor(sim, engine, self.classes, config.monitor)
+        if config.planner.allocator == "deficit":
+            self.solver = DeficitAllocator(
+                system_cost_limit=config.system_cost_limit,
+                grid_timerons=config.planner.grid_timerons,
+                min_class_limit=config.planner.min_class_limit,
+            )
+        else:
+            oltp_model = OLTPResponseTimeModel(
+                prior_slope=config.planner.oltp_slope_prior,
+                prior_weight=config.planner.oltp_slope_weight,
+                forgetting=config.planner.regression_forgetting,
+            )
+            self.solver = PerformanceSolver(
+                utility=make_utility(
+                    config.planner.utility,
+                    surplus_slope=config.planner.surplus_slope,
+                    importance_base=config.planner.importance_base,
+                ),
+                oltp_model=oltp_model,
+                system_cost_limit=config.system_cost_limit,
+                grid_timerons=config.planner.grid_timerons,
+                min_class_limit=config.planner.min_class_limit,
+                oltp_target_margin=config.planner.oltp_target_margin,
+            )
+        self.planner = SchedulingPlanner(
+            sim, self.monitor, self.dispatcher, self.solver, self.classes, config.planner
+        )
+        self.monitor.set_forward(self._classify_and_enqueue)
+        patroller.set_release_handler(self.monitor.on_intercepted)
+        self.detector: Optional[WorkloadDetector] = None
+        self._started = False
+
+    def _classify_and_enqueue(self, query: Query) -> None:
+        self.classifier.classify(query)
+        self.dispatcher.enqueue(query)
+
+    def enable_detection(self, **detector_kwargs) -> WorkloadDetector:
+        """Attach explicit workload detection (Section 2's first process).
+
+        The detector characterises per-class arrival rates from the submit
+        path (it sees the OLTP traffic QP never intercepts) and triggers an
+        early re-plan on intensity shifts, cutting reaction latency below
+        the fixed control interval.  Call before :meth:`start`.
+        """
+        if self.detector is not None:
+            raise SchedulingError("detection already enabled")
+        detector = WorkloadDetector(self.sim, self.classes, **detector_kwargs)
+        self.patroller.add_submit_listener(detector.observe)
+        detector.add_shift_listener(lambda event: self.planner.trigger_early())
+        self.detector = detector
+        if self._started:
+            detector.start()
+        return detector
+
+    def start(self) -> None:
+        """Begin monitoring and the planning control loop."""
+        if self._started:
+            raise SchedulingError("QueryScheduler started twice")
+        self._started = True
+        self.monitor.start()
+        self.planner.start()
+        if self.detector is not None:
+            self.detector.start()
+
+    @property
+    def plan(self) -> SchedulingPlan:
+        """The currently active scheduling plan."""
+        return self.dispatcher.plan
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return (
+            "Query Scheduler (dynamic cost-based control, {} classes, "
+            "interval {:.0f}s, utility {!r})".format(
+                len(self.classes),
+                self.config.planner.control_interval,
+                self.config.planner.utility,
+            )
+        )

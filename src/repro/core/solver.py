@@ -1,0 +1,235 @@
+"""The Performance Solver.
+
+"The Scheduling Planner consults with the Performance Solver at regular
+intervals to determine an optimal scheduling plan" (Section 2): maximise the
+summed utility of predicted per-class achievement, subject to the class cost
+limits summing to the system cost limit.
+
+The search space is the allocation simplex discretised at a timeron
+granularity.  Utilities are non-decreasing in a class's own limit (more
+budget never hurts a class), so the optimum always spends the whole system
+limit; we therefore enumerate full allocations only.  For up to three
+classes (the paper's experiment) exhaustive enumeration is a few hundred
+points; beyond that a greedy unit-reallocation ascent is used.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.models import OLAPVelocityModel, OLTPResponseTimeModel
+from repro.core.plan import SchedulingPlan
+from repro.core.service_class import ServiceClass
+from repro.core.utility import UtilityFunction
+from repro.errors import SchedulingError
+
+#: Class counts up to which the solver enumerates the simplex exhaustively.
+_EXHAUSTIVE_MAX_CLASSES = 3
+
+
+class ClassStatus:
+    """Solver input for one class: where it is now."""
+
+    __slots__ = ("service_class", "current_limit", "current_value")
+
+    def __init__(
+        self,
+        service_class: ServiceClass,
+        current_limit: float,
+        current_value: Optional[float],
+    ) -> None:
+        self.service_class = service_class
+        self.current_limit = current_limit
+        # With no measurement yet, assume the class sits exactly at goal:
+        # the solver then has no reason to move resources toward or away.
+        if current_value is None:
+            current_value = service_class.goal.target
+        self.current_value = current_value
+
+
+class PerformanceSolver:
+    """Utility-maximising allocator of the system cost limit."""
+
+    def __init__(
+        self,
+        utility: UtilityFunction,
+        oltp_model: OLTPResponseTimeModel,
+        system_cost_limit: float,
+        grid_timerons: float = 1000.0,
+        min_class_limit: float = 1000.0,
+        oltp_target_margin: float = 1.0,
+    ) -> None:
+        if grid_timerons <= 0:
+            raise SchedulingError("grid_timerons must be positive")
+        if min_class_limit < 0:
+            raise SchedulingError("min_class_limit must be non-negative")
+        if system_cost_limit <= 0:
+            raise SchedulingError("system_cost_limit must be positive")
+        if not 0 < oltp_target_margin <= 1:
+            raise SchedulingError("oltp_target_margin must be in (0, 1]")
+        self.utility = utility
+        self.oltp_model = oltp_model
+        self.system_cost_limit = system_cost_limit
+        self.grid = grid_timerons
+        self.min_class_limit = min_class_limit
+        self.oltp_target_margin = oltp_target_margin
+        self._solve_calls = 0
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def solve_calls(self) -> int:
+        """Number of plans produced."""
+        return self._solve_calls
+
+    @property
+    def evaluations(self) -> int:
+        """Candidate allocations evaluated across all solves."""
+        return self._evaluations
+
+    # ------------------------------------------------------------------
+    # Prediction and objective
+    # ------------------------------------------------------------------
+    def predict_value(self, status: ClassStatus, new_limit: float) -> float:
+        """Predicted metric value for a class under a candidate limit."""
+        service_class = status.service_class
+        if service_class.kind == "olap":
+            return OLAPVelocityModel.predict(
+                status.current_value, status.current_limit, new_limit
+            )
+        return self.oltp_model.predict(
+            status.current_value, status.current_limit, new_limit
+        )
+
+    def class_utility(self, status: ClassStatus, new_limit: float) -> float:
+        """Utility contribution of one class under a candidate limit.
+
+        The OLTP class is scored against ``goal * oltp_target_margin`` so
+        the controller aims slightly below its SLO (control headroom);
+        reported attainment elsewhere always uses the true goal.
+        """
+        predicted = self.predict_value(status, new_limit)
+        service_class = status.service_class
+        if service_class.kind == "oltp" and self.oltp_target_margin < 1.0:
+            # Equivalent to achievement against a margin-scaled target
+            # (unclamped, like ResponseTimeGoal.achievement).
+            target = service_class.goal.target * self.oltp_target_margin
+            achievement = 2.0 - predicted / target
+        else:
+            achievement = service_class.goal.achievement(predicted)
+        return self.utility.value(achievement, service_class.importance)
+
+    def objective(self, statuses: Sequence[ClassStatus], limits: Sequence[float]) -> float:
+        """Total utility of a full candidate allocation."""
+        self._evaluations += 1
+        return sum(
+            self.class_utility(status, limit)
+            for status, limit in zip(statuses, limits)
+        )
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, statuses: Sequence[ClassStatus], now: float = 0.0) -> SchedulingPlan:
+        """Produce the utility-optimal plan for the given class statuses."""
+        if not statuses:
+            raise SchedulingError("solver needs at least one class status")
+        self._solve_calls += 1
+        names = [s.service_class.name for s in statuses]
+        if len(set(names)) != len(names):
+            raise SchedulingError("duplicate class names in solver input")
+        min_units = max(0, int(round(self.min_class_limit / self.grid)))
+        total_units = int(self.system_cost_limit // self.grid)
+        if total_units < min_units * len(statuses):
+            raise SchedulingError(
+                "system cost limit {} cannot give {} classes {} timerons each".format(
+                    self.system_cost_limit, len(statuses), self.min_class_limit
+                )
+            )
+        if len(statuses) <= _EXHAUSTIVE_MAX_CLASSES:
+            best_units = self._solve_exhaustive(statuses, total_units, min_units)
+        else:
+            best_units = self._solve_greedy(statuses, total_units, min_units)
+        limits = {
+            name: units * self.grid for name, units in zip(names, best_units)
+        }
+        return SchedulingPlan(limits, self.system_cost_limit, created_at=now)
+
+    def _solve_exhaustive(
+        self,
+        statuses: Sequence[ClassStatus],
+        total_units: int,
+        min_units: int,
+    ) -> Tuple[int, ...]:
+        free_units = total_units - min_units * len(statuses)
+        best: Tuple[float, Tuple[int, ...]] = (float("-inf"), ())
+        for combo in _compositions(free_units, len(statuses)):
+            units = tuple(min_units + c for c in combo)
+            limits = [u * self.grid for u in units]
+            score = self.objective(statuses, limits)
+            if score > best[0]:
+                best = (score, units)
+        return best[1]
+
+    def _solve_greedy(
+        self,
+        statuses: Sequence[ClassStatus],
+        total_units: int,
+        min_units: int,
+    ) -> Tuple[int, ...]:
+        count = len(statuses)
+        # Start proportional to current limits (projected onto the grid).
+        current_total = sum(max(s.current_limit, 1.0) for s in statuses)
+        units: List[int] = []
+        for status in statuses:
+            share = max(status.current_limit, 1.0) / current_total
+            units.append(max(min_units, int(round(share * total_units))))
+        # Repair the sum.
+        while sum(units) > total_units:
+            index = max(range(count), key=lambda i: units[i])
+            if units[index] <= min_units:
+                break
+            units[index] -= 1
+        while sum(units) < total_units:
+            index = min(range(count), key=lambda i: units[i])
+            units[index] += 1
+        # Hill-climb single-unit transfers until no move improves.
+        best_score = self.objective(statuses, [u * self.grid for u in units])
+        improved = True
+        while improved:
+            improved = False
+            best_move: Optional[Tuple[float, int, int]] = None
+            for donor in range(count):
+                if units[donor] <= min_units:
+                    continue
+                for recipient in range(count):
+                    if recipient == donor:
+                        continue
+                    units[donor] -= 1
+                    units[recipient] += 1
+                    score = self.objective(statuses, [u * self.grid for u in units])
+                    units[donor] += 1
+                    units[recipient] -= 1
+                    if score > best_score and (
+                        best_move is None or score > best_move[0]
+                    ):
+                        best_move = (score, donor, recipient)
+            if best_move is not None:
+                _, donor, recipient = best_move
+                units[donor] -= 1
+                units[recipient] += 1
+                best_score = best_move[0]
+                improved = True
+        return tuple(units)
+
+
+def _compositions(total: int, parts: int):
+    """Yield every tuple of ``parts`` non-negative ints summing to ``total``."""
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for tail in _compositions(total - head, parts - 1):
+            yield (head,) + tail

@@ -1,0 +1,28 @@
+"""Simulated DB2-like database engine (substrate).
+
+This subpackage stands in for IBM DB2 UDB v8.2 on the paper's xSeries 240
+testbed.  It provides exactly the surface the Query Scheduler framework
+observes and actuates: statement execution on shared CPU/disk pools with
+contention and a thrashing knee, an agent pool, an optimizer that prices
+queries in timerons (with estimation error), and a snapshot monitor exposing
+the most recently completed statement per client connection.
+"""
+
+from repro.dbms.agent import AgentPool
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.optimizer import CostEstimator
+from repro.dbms.overload import OverloadModel
+from repro.dbms.query import Phase, Query, QueryState
+from repro.dbms.snapshot import SnapshotMonitor, SnapshotSample
+
+__all__ = [
+    "AgentPool",
+    "DatabaseEngine",
+    "CostEstimator",
+    "OverloadModel",
+    "Phase",
+    "Query",
+    "QueryState",
+    "SnapshotMonitor",
+    "SnapshotSample",
+]

@@ -1,0 +1,178 @@
+"""The simulated database engine.
+
+:class:`DatabaseEngine` executes queries phase by phase on two
+processor-sharing pools (CPU and disks), under an agent pool and the
+overload model.  It exposes exactly the hooks the rest of the system needs:
+
+* ``execute(query)`` — run a statement (the Query Patroller calls this when
+  a blocked agent is released; bypassing clients call it directly);
+* ``add_completion_listener`` — the Monitor and metric collectors subscribe
+  to statement completions;
+* ``snapshot_monitor`` — the substrate for OLTP response-time sampling.
+
+Execution timing: a query's ``start_time`` is when it gets an agent and its
+first phase enters service; ``finish_time`` is when its last phase leaves
+service.  Contention stretches phases through the PS pools and the overload
+efficiency factor — no latency is ever synthesised outside the resource
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import SimulationConfig
+from repro.dbms.agent import AgentPool
+from repro.dbms.optimizer import CostEstimator
+from repro.dbms.overload import OverloadModel
+from repro.dbms.query import CPU, IO, Query, QueryState
+from repro.dbms.snapshot import SnapshotMonitor
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import ProcessorSharingResource, PSJob
+from repro.sim.rng import RandomStreams
+
+CompletionListener = Callable[[Query], None]
+
+
+class DatabaseEngine:
+    """DB2-like execution engine over simulated hardware."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimulationConfig,
+        rng: RandomStreams,
+    ) -> None:
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.rng = rng
+        resources = config.resources
+        self.cpu = ProcessorSharingResource(
+            sim, "cpu", resources.cpu_servers, resources.cpu_speed
+        )
+        self.disk = ProcessorSharingResource(
+            sim, "disk", resources.disk_servers, resources.disk_speed
+        )
+        self._pools: Dict[str, ProcessorSharingResource] = {CPU: self.cpu, IO: self.disk}
+        self.agents = AgentPool(config.agents)
+        self.overload = OverloadModel(config.overload, [self.cpu, self.disk])
+        self.snapshot_monitor = SnapshotMonitor()
+        self.estimator = CostEstimator(config.optimizer, rng)
+        self._listeners: List[CompletionListener] = []
+        self._executing: Dict[int, Query] = {}
+        self._completed = 0
+        self._admission_gate: Optional["AdmissionGate"] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def executing_queries(self) -> int:
+        """Statements currently holding an agent and consuming resources."""
+        return len(self._executing)
+
+    @property
+    def completed_queries(self) -> int:
+        """Total statements completed since the start of the run."""
+        return self._completed
+
+    def executing_cost(self, class_name: Optional[str] = None) -> float:
+        """Summed *estimated* cost of executing statements (optionally of
+        one class) — the quantity cost-limit policies reason about."""
+        total = 0.0
+        for query in self._executing.values():
+            if class_name is None or query.class_name == class_name:
+                total += query.estimated_cost
+        return total
+
+    def add_completion_listener(self, listener: CompletionListener) -> None:
+        """Subscribe to statement completions (fired in subscription order)."""
+        self._listeners.append(listener)
+
+    def set_admission_gate(self, gate: Optional["AdmissionGate"]) -> None:
+        """Install an in-engine admission gate (None to remove).
+
+        This is the hook for the paper's future-work direction of
+        implementing workload control *inside* the DBMS (Section 5): unlike
+        Query Patroller interception, the gate sees every statement —
+        including sub-second OLTP — with zero added latency or CPU.
+        """
+        self._admission_gate = gate
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query: Query) -> None:
+        """Admit ``query`` for execution (possibly waiting for an agent)."""
+        if query.state in (QueryState.EXECUTING, QueryState.COMPLETED):
+            raise SimulationError(
+                "query {} executed twice".format(query.query_id)
+            )
+        if self._admission_gate is not None and not self._admission_gate.admit(query):
+            # The gate took ownership; it calls admit_released() later.
+            return
+        if query.release_time is None:
+            query.release_time = self.sim.now
+        self.agents.acquire(query, self._start)
+
+    def admit_released(self, query: Query) -> None:
+        """Admit a statement previously held by the admission gate."""
+        if query.release_time is None:
+            query.release_time = self.sim.now
+        self.agents.acquire(query, self._start)
+
+    def _start(self, query: Query) -> None:
+        query.state = QueryState.EXECUTING
+        query.start_time = self.sim.now
+        self._executing[query.query_id] = query
+        self.overload.admit(query.true_cost)
+        self._run_next_phase(query)
+
+    def _run_next_phase(self, query: Query) -> None:
+        phase = query.next_phase()
+        if phase is None:
+            self._finish(query)
+            return
+        pool = self._pools[phase.kind]
+        degree = max(1, int(query.parallelism))
+        if degree == 1:
+            job = PSJob(
+                name="q{}:{}".format(query.query_id, phase.kind),
+                demand=phase.demand,
+                on_complete=lambda _job, q=query: self._run_next_phase(q),
+            )
+            pool.submit(job)
+            return
+        # Intra-query parallelism: the phase fans out into `degree`
+        # sub-jobs and the next phase starts when the last one finishes.
+        barrier = {"remaining": degree}
+
+        def _sub_done(_job: PSJob, q: Query = query) -> None:
+            barrier["remaining"] -= 1
+            if barrier["remaining"] == 0:
+                self._run_next_phase(q)
+
+        share = phase.demand / degree
+        for worker in range(degree):
+            pool.submit(
+                PSJob(
+                    name="q{}:{}:{}".format(query.query_id, phase.kind, worker),
+                    demand=share,
+                    on_complete=_sub_done,
+                )
+            )
+
+    def _finish(self, query: Query) -> None:
+        query.state = QueryState.COMPLETED
+        query.finish_time = self.sim.now
+        del self._executing[query.query_id]
+        self.overload.retire(query.true_cost)
+        self._completed += 1
+        self.snapshot_monitor.record_completion(query)
+        self.agents.release()
+        if query.on_complete is not None:
+            query.on_complete(query)
+        for listener in self._listeners:
+            listener(query)

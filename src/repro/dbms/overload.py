@@ -1,0 +1,76 @@
+"""Server overload (thrashing) model.
+
+Section 2 of the paper: the system cost limit is "determined experimentally
+by plotting the curve of the throughput versus the system cost limit to
+ensure the system running in a healthy state or under-saturated".  That
+experiment only makes sense if pushing total concurrent cost past some knee
+*hurts* throughput — on real hardware via buffer-pool churn, lock escalation
+and memory pressure.  We model the aggregate effect as a single efficiency
+multiplier applied to both resource pools:
+
+    efficiency(cost) = 1                                   cost <= knee
+                       1 / (1 + beta * (cost - knee)/knee) cost >  knee
+
+where ``cost`` is the summed *true* timeron cost of all executing queries.
+Below the knee the server behaves like a plain processor-sharing system
+(hence the linear Figure 2 regime); above it, every additional admitted
+timeron slows everyone down, producing the throughput knee of the
+calibration experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import OverloadConfig
+from repro.sim.resources import ProcessorSharingResource
+
+
+class OverloadModel:
+    """Tracks total in-flight cost and keeps pool efficiencies in sync."""
+
+    def __init__(
+        self,
+        config: OverloadConfig,
+        resources: List[ProcessorSharingResource],
+    ) -> None:
+        config.validate()
+        self.config = config
+        self._resources = list(resources)
+        self._total_cost = 0.0
+        self._peak_cost = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        """Summed true timeron cost of all currently executing queries."""
+        return self._total_cost
+
+    @property
+    def peak_cost(self) -> float:
+        """Largest total cost observed so far."""
+        return self._peak_cost
+
+    @property
+    def efficiency(self) -> float:
+        """Current efficiency multiplier."""
+        return self.config.efficiency(self._total_cost)
+
+    def admit(self, cost: float) -> None:
+        """Account for a query entering execution."""
+        self._total_cost += cost
+        if self._total_cost > self._peak_cost:
+            self._peak_cost = self._total_cost
+        self._apply()
+
+    def retire(self, cost: float) -> None:
+        """Account for a query finishing execution."""
+        self._total_cost -= cost
+        if self._total_cost < 0:
+            # Float drift only; never let efficiency exceed 1 via negatives.
+            self._total_cost = 0.0
+        self._apply()
+
+    def _apply(self) -> None:
+        efficiency = self.efficiency
+        for resource in self._resources:
+            resource.set_efficiency(efficiency)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this package derive from :class:`ReproError` so that
+callers can catch everything the library raises with a single handler while
+still being able to discriminate the failure category.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an internal inconsistency.
+
+    These indicate a bug in the simulation (e.g. an event scheduled in the
+    past) rather than a misuse of the public API.
+    """
+
+
+class SchedulingError(ReproError):
+    """The Query Scheduler was asked to do something invalid.
+
+    Examples: dispatching a query for an unknown service class, installing a
+    scheduling plan whose limits exceed the system cost limit.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid (unknown template, empty mix, ...)."""
+
+
+class PatrollerError(ReproError):
+    """The Query Patroller substrate was driven through an illegal transition.
+
+    Examples: releasing a query that was never intercepted, or releasing the
+    same query twice.
+    """

@@ -1,0 +1,61 @@
+"""Experiment harness: builds full simulations and reproduces the paper's
+calibration sweep and Figures 2-7."""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    SimulationBundle,
+    build_bundle,
+    make_controller,
+    run_experiment,
+)
+from repro.experiments.calibration import (
+    fit_oltp_slope,
+    sweep_system_cost_limit,
+)
+from repro.experiments.figures import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.replication import (
+    ReplicationSummary,
+    compare,
+    format_comparison,
+    replicate,
+)
+from repro.experiments.reportgen import generate_report, write_report
+from repro.experiments.sensitivity import (
+    format_sweep,
+    get_config_field,
+    set_config_field,
+    sweep,
+)
+
+__all__ = [
+    "SimulationBundle",
+    "ExperimentResult",
+    "build_bundle",
+    "make_controller",
+    "run_experiment",
+    "sweep_system_cost_limit",
+    "fit_oltp_slope",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "replicate",
+    "compare",
+    "format_comparison",
+    "ReplicationSummary",
+    "sweep",
+    "format_sweep",
+    "set_config_field",
+    "get_config_field",
+    "generate_report",
+    "write_report",
+]

@@ -1,0 +1,132 @@
+"""Multi-seed replication of experiments.
+
+The paper reports a single 24-hour run.  A reproduction should quantify
+run-to-run variance: :func:`replicate` re-runs an experiment across seeds
+and aggregates per-class attainment and goal-metric means, and
+:func:`compare` does that for several controllers on the *same* seeds so
+differences are paired, not confounded by workload randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SimulationConfig, default_config
+from repro.core.service_class import ServiceClass
+from repro.experiments.runner import run_experiment
+from repro.sim.stats import WelfordAccumulator
+from repro.workloads.schedule import PeriodSchedule
+
+
+@dataclass
+class ClassReplicationStats:
+    """Across-seed aggregates for one service class."""
+
+    class_name: str
+    attainment: WelfordAccumulator = field(default_factory=WelfordAccumulator)
+    metric_mean: WelfordAccumulator = field(default_factory=WelfordAccumulator)
+
+    def summary(self) -> Dict[str, float]:
+        """Plain-dict summary (JSON-friendly)."""
+        return {
+            "attainment_mean": self.attainment.mean,
+            "attainment_std": self.attainment.stddev,
+            "metric_mean": self.metric_mean.mean,
+            "metric_std": self.metric_mean.stddev,
+            "runs": self.attainment.count,
+        }
+
+
+@dataclass
+class ReplicationSummary:
+    """Aggregated outcome of one controller across seeds."""
+
+    controller: str
+    seeds: List[int]
+    per_class: Dict[str, ClassReplicationStats]
+
+    def attainment_mean(self, class_name: str) -> float:
+        """Mean across-seed attainment of a class."""
+        return self.per_class[class_name].attainment.mean
+
+    def attainment_std(self, class_name: str) -> float:
+        """Across-seed standard deviation of a class's attainment."""
+        return self.per_class[class_name].attainment.stddev
+
+
+def replicate(
+    controller: str,
+    seeds: Sequence[int],
+    config: Optional[SimulationConfig] = None,
+    schedule: Optional[PeriodSchedule] = None,
+    classes: Optional[List[ServiceClass]] = None,
+) -> ReplicationSummary:
+    """Run one controller across several seeds and aggregate."""
+    if not seeds:
+        raise ValueError("replicate needs at least one seed")
+    base = (config or default_config()).validate()
+    per_class: Dict[str, ClassReplicationStats] = {}
+    for seed in seeds:
+        result = run_experiment(
+            controller=controller,
+            config=base.with_updates(seed=int(seed)),
+            schedule=schedule,
+            classes=classes,
+        )
+        for service_class in result.classes:
+            stats = per_class.setdefault(
+                service_class.name, ClassReplicationStats(service_class.name)
+            )
+            stats.attainment.add(result.collector.goal_attainment(service_class))
+            values = [
+                v
+                for v in result.collector.performance_series(service_class)
+                if v is not None
+            ]
+            if values:
+                stats.metric_mean.add(sum(values) / len(values))
+    return ReplicationSummary(
+        controller=controller, seeds=list(seeds), per_class=per_class
+    )
+
+
+def compare(
+    controllers: Sequence[str],
+    seeds: Sequence[int],
+    config: Optional[SimulationConfig] = None,
+    schedule: Optional[PeriodSchedule] = None,
+    classes: Optional[List[ServiceClass]] = None,
+) -> Dict[str, ReplicationSummary]:
+    """Replicate several controllers over the same seeds (paired design)."""
+    return {
+        controller: replicate(
+            controller, seeds, config=config, schedule=schedule, classes=classes
+        )
+        for controller in controllers
+    }
+
+
+def format_comparison(
+    summaries: Dict[str, ReplicationSummary],
+    class_names: Sequence[str],
+) -> str:
+    """ASCII table of mean +/- std attainment per controller and class."""
+    lines = []
+    header = "{:>12} |".format("controller") + "".join(
+        " {:>16} |".format(name) for name in class_names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for controller, summary in summaries.items():
+        row = "{:>12} |".format(controller)
+        for name in class_names:
+            stats = summary.per_class.get(name)
+            if stats is None or stats.attainment.count == 0:
+                row += " {:>16} |".format("-")
+            else:
+                row += " {:>7.0%} +/-{:>4.0%} |".format(
+                    stats.attainment.mean, stats.attainment.stddev
+                )
+        lines.append(row)
+    return "\n".join(lines)

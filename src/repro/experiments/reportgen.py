@@ -1,0 +1,118 @@
+"""Markdown report generation.
+
+``generate_report`` re-runs the paper's headline experiments and renders a
+self-contained Markdown report (per-figure tables, attainment summaries,
+and the Figure 7 plan trace) — a fresh, machine-generated counterpart to
+the hand-curated EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import (
+    MonitorConfig,
+    PlannerConfig,
+    SimulationConfig,
+    WorkloadScaleConfig,
+    default_config,
+)
+from repro.experiments.figures import figure4, figure5, figure6, figure7
+from repro.experiments.runner import ExperimentResult
+
+
+def quick_report_config() -> SimulationConfig:
+    """A reduced configuration for fast report generation (~1 min)."""
+    return default_config(
+        scale=WorkloadScaleConfig(period_seconds=120.0, num_periods=9),
+        monitor=MonitorConfig(snapshot_interval=10.0, response_time_window=60.0),
+        planner=PlannerConfig(control_interval=60.0),
+    )
+
+
+def _metric_label(service_class) -> str:
+    return "velocity" if service_class.kind == "olap" else "avg rt (s)"
+
+
+def _result_section(title: str, result: ExperimentResult) -> List[str]:
+    lines = ["## {}".format(title), ""]
+    lines.append("controller: `{}`".format(result.controller_name))
+    lines.append("")
+    header = "| period |" + "".join(
+        " {} ({}) |".format(c.name, _metric_label(c)) for c in result.classes
+    )
+    rule = "|---|" + "---|" * len(result.classes)
+    lines.append(header)
+    lines.append(rule)
+    series = {c.name: result.collector.performance_series(c) for c in result.classes}
+    for period in range(result.schedule.num_periods):
+        row = "| {} |".format(period + 1)
+        for c in result.classes:
+            value = series[c.name][period]
+            if value is None:
+                row += " - |"
+            else:
+                marker = "" if c.goal.satisfied(value) else " **miss**"
+                row += " {:.3f}{} |".format(value, marker)
+        lines.append(row)
+    lines.append("")
+    lines.append(
+        "attainment: "
+        + ", ".join(
+            "{} {:.0%}".format(c.name, result.collector.goal_attainment(c))
+            for c in result.classes
+        )
+    )
+    lines.append("")
+    return lines
+
+
+def _plan_section(result: ExperimentResult) -> List[str]:
+    lines = ["## Class cost limits under Query Scheduler (Figure 7)", ""]
+    names = [c.name for c in result.classes]
+    lines.append("| period |" + "".join(" {} |".format(n) for n in names))
+    lines.append("|---|" + "---|" * len(names))
+    means = {n: result.collector.plan_period_means(n) for n in names}
+    for period in range(result.schedule.num_periods):
+        row = "| {} |".format(period + 1)
+        for n in names:
+            value = means[n][period]
+            row += " - |" if value is None else " {:.0f} |".format(value)
+        lines.append(row)
+    lines.append("")
+    return lines
+
+
+def generate_report(
+    config: Optional[SimulationConfig] = None,
+    controllers: Optional[Dict[str, str]] = None,
+) -> str:
+    """Run the comparison experiments and return the Markdown report."""
+    config = (config or quick_report_config()).validate()
+    lines: List[str] = [
+        "# Generated experiment report",
+        "",
+        "Workload: {} periods x {:.0f}s; system cost limit {:.0f} timerons; "
+        "seed {}.".format(
+            config.scale.num_periods,
+            config.scale.period_seconds,
+            config.system_cost_limit,
+            config.seed,
+        ),
+        "",
+    ]
+    qs_result = figure6(config)
+    lines += _result_section("No class control (Figure 4)", figure4(config))
+    lines += _result_section("DB2 QP priority control (Figure 5)", figure5(config))
+    lines += _result_section("Query Scheduler (Figure 6)", qs_result)
+    figure7(result=qs_result)  # validates the run is a QS run
+    lines += _plan_section(qs_result)
+    return "\n".join(lines)
+
+
+def write_report(path: str, config: Optional[SimulationConfig] = None) -> str:
+    """Generate and write the report; returns the Markdown text."""
+    text = generate_report(config=config)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,253 @@
+"""Builds complete simulations and runs the paper's experiments.
+
+The assembly order mirrors the real deployment: simulated hardware and
+engine first, Query Patroller on top, workload clients connecting through
+QP, then one *controller* — the Query Scheduler or a baseline — installed
+as QP's release handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import SimulationConfig, default_config
+from repro.core.controllers import (
+    Controller,
+    NoControlController,
+    QPPriorityController,
+)
+from repro.core.direct import DirectScheduler
+from repro.core.mpl import MPLController
+from repro.core.scheduler import QueryScheduler
+from repro.core.service_class import ServiceClass, paper_classes
+from repro.dbms.engine import DatabaseEngine
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
+from repro.patroller.patroller import QueryPatroller
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.client import ClosedLoopClient
+from repro.workloads.schedule import ClientPoolManager, PeriodSchedule, paper_schedule
+from repro.workloads.spec import QueryFactory, WorkloadMix
+from repro.workloads.tpcc import tpcc_mix
+from repro.workloads.tpch import tpch_mix
+
+#: Controller names accepted by :func:`make_controller`.
+CONTROLLER_NAMES = ("none", "qp", "qp_nopriority", "qs", "qs_detect", "mpl", "direct")
+
+
+@dataclass
+class SimulationBundle:
+    """Everything that makes up one runnable simulated deployment."""
+
+    config: SimulationConfig
+    sim: Simulator
+    rng: RandomStreams
+    engine: DatabaseEngine
+    patroller: QueryPatroller
+    factory: QueryFactory
+    classes: List[ServiceClass]
+    mixes: Dict[str, WorkloadMix]
+    schedule: PeriodSchedule
+    manager: ClientPoolManager
+    collector: MetricsCollector
+    controller: Optional[object] = None
+
+    def historical_olap_costs(self) -> List[float]:
+        """Exact template costs of the OLAP mixes (QP group calibration)."""
+        costs: List[float] = []
+        seen = set()
+        for service_class in self.classes:
+            if not service_class.directly_controlled:
+                continue
+            mix = self.mixes[service_class.name]
+            if mix.name in seen:
+                continue
+            seen.add(mix.name)
+            for template in mix.templates:
+                costs.append(
+                    self.engine.estimator.true_cost(
+                        template.cpu_demand, template.io_demand
+                    )
+                )
+        return costs
+
+    def run(self, horizon: Optional[float] = None) -> None:
+        """Run the simulation to its schedule horizon (or ``horizon``)."""
+        end = horizon if horizon is not None else self.schedule.horizon
+        self.sim.run_until(end)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    controller_name: str
+    config: SimulationConfig
+    classes: List[ServiceClass]
+    schedule: PeriodSchedule
+    collector: MetricsCollector
+    bundle: SimulationBundle
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def performance_series(self) -> Dict[str, List[Optional[float]]]:
+        """Per-class goal-metric series (the Figures 4-6 payload)."""
+        return {
+            c.name: self.collector.performance_series(c) for c in self.classes
+        }
+
+    def goal_attainment(self) -> Dict[str, float]:
+        """Per-class fraction of periods meeting the goal."""
+        return {c.name: self.collector.goal_attainment(c) for c in self.classes}
+
+
+def build_bundle(
+    config: Optional[SimulationConfig] = None,
+    schedule: Optional[PeriodSchedule] = None,
+    classes: Optional[List[ServiceClass]] = None,
+    mixes: Optional[Dict[str, WorkloadMix]] = None,
+) -> SimulationBundle:
+    """Assemble engine, patroller, workloads and metrics (no controller yet)."""
+    config = (config or default_config()).validate()
+    classes = list(classes) if classes is not None else list(paper_classes())
+    if schedule is None:
+        schedule = paper_schedule(config.scale.period_seconds)
+        if schedule.num_periods != config.scale.num_periods:
+            schedule = PeriodSchedule(
+                config.scale.period_seconds,
+                {
+                    name: series[: config.scale.num_periods]
+                    for name, series in schedule.counts.items()
+                },
+            )
+    if mixes is None:
+        olap = tpch_mix()
+        oltp = tpcc_mix()
+        mixes = {}
+        for service_class in classes:
+            mixes[service_class.name] = olap if service_class.kind == "olap" else oltp
+    missing = [c.name for c in classes if c.name not in mixes]
+    if missing:
+        raise ConfigurationError("no workload mix for classes {}".format(missing))
+    unknown = [name for name in schedule.counts if name not in {c.name for c in classes}]
+    if unknown:
+        raise ConfigurationError("schedule covers unknown classes {}".format(unknown))
+
+    sim = Simulator()
+    rng = RandomStreams(config.seed)
+    engine = DatabaseEngine(sim, config, rng)
+    patroller = QueryPatroller(sim, engine, config.patroller)
+    factory = QueryFactory(engine.estimator, rng)
+    collector = MetricsCollector(engine, schedule, classes)
+
+    def client_builder(class_name: str, client_id: str) -> ClosedLoopClient:
+        return ClosedLoopClient(
+            sim=sim,
+            patroller=patroller,
+            factory=factory,
+            mix=mixes[class_name],
+            class_name=class_name,
+            client_id=client_id,
+            think_time=config.scale.think_time,
+        )
+
+    manager = ClientPoolManager(sim, schedule, client_builder)
+    return SimulationBundle(
+        config=config,
+        sim=sim,
+        rng=rng,
+        engine=engine,
+        patroller=patroller,
+        factory=factory,
+        classes=classes,
+        mixes=mixes,
+        schedule=schedule,
+        manager=manager,
+        collector=collector,
+    )
+
+
+def make_controller(
+    bundle: SimulationBundle,
+    name: str,
+    static_olap_limit: Optional[float] = None,
+) -> object:
+    """Build and attach the named controller to a bundle.
+
+    ``"none"``          -- system cost limit only (Figure 4 baseline)
+    ``"qp"``            -- DB2 QP static groups + priorities (Figure 5)
+    ``"qp_nopriority"`` -- same with priority control off (Section 4.2.2)
+    ``"qs"``            -- the Query Scheduler (Figure 6/7)
+    ``"qs_detect"``     -- Query Scheduler + explicit workload detection
+    ``"mpl"``           -- MPL admission control extension ([5])
+    ``"direct"``        -- in-engine direct control extension (Section 5)
+    """
+    config = bundle.config
+    if name == "none":
+        controller: object = NoControlController(
+            bundle.patroller, bundle.engine, bundle.classes, config.system_cost_limit
+        )
+    elif name in ("qp", "qp_nopriority"):
+        controller = QPPriorityController(
+            bundle.patroller,
+            bundle.engine,
+            bundle.classes,
+            historical_costs=bundle.historical_olap_costs(),
+            static_olap_limit=(
+                static_olap_limit
+                if static_olap_limit is not None
+                else config.system_cost_limit
+            ),
+            priority_control=(name == "qp"),
+        )
+    elif name in ("qs", "qs_detect"):
+        scheduler = QueryScheduler(
+            bundle.sim, bundle.engine, bundle.patroller, bundle.classes, config
+        )
+        if name == "qs_detect":
+            scheduler.enable_detection()
+        controller = scheduler
+    elif name == "mpl":
+        controller = MPLController(
+            bundle.sim,
+            bundle.patroller,
+            bundle.engine,
+            bundle.classes,
+            control_interval=config.planner.control_interval,
+        )
+    elif name == "direct":
+        controller = DirectScheduler(
+            bundle.sim, bundle.engine, bundle.classes, config
+        )
+    else:
+        raise ConfigurationError(
+            "unknown controller {!r}; expected one of {}".format(name, CONTROLLER_NAMES)
+        )
+    bundle.controller = controller
+    return controller
+
+
+def run_experiment(
+    controller: str = "qs",
+    config: Optional[SimulationConfig] = None,
+    schedule: Optional[PeriodSchedule] = None,
+    classes: Optional[List[ServiceClass]] = None,
+    static_olap_limit: Optional[float] = None,
+) -> ExperimentResult:
+    """Run one full scheduled experiment under the named controller."""
+    bundle = build_bundle(config=config, schedule=schedule, classes=classes)
+    built = make_controller(bundle, controller, static_olap_limit=static_olap_limit)
+    if isinstance(built, QueryScheduler):  # covers qs and qs_detect
+        built.planner.add_plan_listener(bundle.collector.on_plan)
+    built.start()
+    bundle.manager.start()
+    bundle.run()
+    return ExperimentResult(
+        controller_name=controller,
+        config=bundle.config,
+        classes=bundle.classes,
+        schedule=bundle.schedule,
+        collector=bundle.collector,
+        bundle=bundle,
+    )

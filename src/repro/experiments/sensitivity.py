@@ -1,0 +1,115 @@
+"""Generic configuration sensitivity sweeps.
+
+Every ablation bench follows the same pattern: vary one configuration
+field, re-run the experiment, compare attainment.  :func:`sweep` makes that
+a one-liner for *any* field of the (nested, frozen) configuration tree,
+addressed by dotted path — e.g. ``"overload.knee_cost"``,
+``"planner.control_interval"``, ``"optimizer.noise_sigma"`` or the
+top-level ``"system_cost_limit"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SimulationConfig, default_config
+from repro.core.service_class import ServiceClass
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_experiment
+from repro.workloads.schedule import PeriodSchedule
+
+
+def set_config_field(
+    config: SimulationConfig, dotted_path: str, value
+) -> SimulationConfig:
+    """Return a validated copy of ``config`` with one field replaced.
+
+    ``dotted_path`` addresses nested frozen dataclasses:
+    ``"planner.control_interval"`` replaces
+    ``config.planner.control_interval``; a bare name replaces a top-level
+    field.  Unknown segments raise :class:`ConfigurationError`.
+    """
+    parts = dotted_path.split(".")
+    for part in parts:
+        if not part:
+            raise ConfigurationError("empty segment in path {!r}".format(dotted_path))
+
+    def rebuild(node, remaining):
+        name = remaining[0]
+        if not dataclasses.is_dataclass(node) or not any(
+            f.name == name for f in dataclasses.fields(node)
+        ):
+            raise ConfigurationError(
+                "unknown config field {!r} (in path {!r})".format(name, dotted_path)
+            )
+        if len(remaining) == 1:
+            return dataclasses.replace(node, **{name: value})
+        child = getattr(node, name)
+        return dataclasses.replace(node, **{name: rebuild(child, remaining[1:])})
+
+    updated = rebuild(config, parts)
+    return updated.validate()
+
+
+def get_config_field(config: SimulationConfig, dotted_path: str):
+    """Read a (possibly nested) configuration field by dotted path."""
+    node = config
+    for part in dotted_path.split("."):
+        if not dataclasses.is_dataclass(node) or not any(
+            f.name == part for f in dataclasses.fields(node)
+        ):
+            raise ConfigurationError(
+                "unknown config field {!r} (in path {!r})".format(part, dotted_path)
+            )
+        node = getattr(node, part)
+    return node
+
+
+def sweep(
+    dotted_path: str,
+    values: Sequence,
+    controller: str = "qs",
+    config: Optional[SimulationConfig] = None,
+    schedule: Optional[PeriodSchedule] = None,
+    classes: Optional[List[ServiceClass]] = None,
+) -> Dict:
+    """Run the experiment once per value of the addressed field.
+
+    Returns ``{value: {class_name: attainment}}`` in input order.
+    """
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    base = (config or default_config()).validate()
+    results: Dict = {}
+    for value in values:
+        run_config = set_config_field(base, dotted_path, value)
+        result = run_experiment(
+            controller=controller,
+            config=run_config,
+            schedule=schedule,
+            classes=classes,
+        )
+        results[value] = result.goal_attainment()
+    return results
+
+
+def format_sweep(
+    dotted_path: str,
+    results: Dict,
+    class_names: Sequence[str],
+) -> str:
+    """ASCII table of a :func:`sweep` outcome."""
+    lines = []
+    header = "{:>24} |".format(dotted_path) + "".join(
+        " {:>8} |".format(name) for name in class_names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for value, attainment in results.items():
+        row = "{:>24} |".format(value)
+        for name in class_names:
+            share = attainment.get(name)
+            row += " {:>7.0%} |".format(share) if share is not None else " {:>8} |".format("-")
+        lines.append(row)
+    return "\n".join(lines)

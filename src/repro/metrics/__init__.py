@@ -1,0 +1,30 @@
+"""Metric collection and reporting for experiments."""
+
+from repro.metrics.collector import MetricsCollector, PeriodClassMetrics
+from repro.metrics.export import (
+    result_to_csv,
+    result_to_dict,
+    result_to_json,
+    save_result,
+)
+from repro.metrics.report import (
+    format_figure_series,
+    format_period_table,
+    format_plan_table,
+    format_summary,
+    render_series_chart,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "PeriodClassMetrics",
+    "format_period_table",
+    "format_figure_series",
+    "format_plan_table",
+    "format_summary",
+    "render_series_chart",
+    "result_to_dict",
+    "result_to_json",
+    "result_to_csv",
+    "save_result",
+]

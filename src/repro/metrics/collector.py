@@ -1,0 +1,169 @@
+"""Per-period, per-class metric aggregation.
+
+The paper reports everything per 8-minute period: the per-class query
+velocity or average response time of Figures 4-6, and the per-class cost
+limits of Figure 7.  :class:`MetricsCollector` subscribes to engine
+completions (and optionally to planner decisions) and buckets by the
+period in which each query *finished*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.planner import PlanRecord
+from repro.core.service_class import ServiceClass
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.query import Query
+from repro.sim.stats import Histogram, WelfordAccumulator
+from repro.workloads.schedule import PeriodSchedule
+
+#: Response-time histogram range for tail-latency queries (seconds).
+_RT_HISTOGRAM_RANGE = (0.0, 600.0)
+_RT_HISTOGRAM_BINS = 240
+
+
+class PeriodClassMetrics:
+    """Aggregates for one (period, class) cell."""
+
+    __slots__ = (
+        "completions",
+        "velocity",
+        "response_time",
+        "execution_time",
+        "wait_time",
+        "response_histogram",
+    )
+
+    def __init__(self) -> None:
+        self.completions = 0
+        self.velocity = WelfordAccumulator()
+        self.response_time = WelfordAccumulator()
+        self.execution_time = WelfordAccumulator()
+        self.wait_time = WelfordAccumulator()
+        self.response_histogram = Histogram(
+            _RT_HISTOGRAM_RANGE[0], _RT_HISTOGRAM_RANGE[1], bins=_RT_HISTOGRAM_BINS
+        )
+
+    def add(self, query: Query) -> None:
+        """Fold a completed query into the cell."""
+        self.completions += 1
+        self.velocity.add(query.velocity)
+        self.response_time.add(query.response_time)
+        self.execution_time.add(query.execution_time)
+        self.wait_time.add(query.wait_time)
+        self.response_histogram.add(query.response_time)
+
+    def response_percentile(self, q: float) -> float:
+        """Approximate response-time percentile for this cell."""
+        return self.response_histogram.percentile(q)
+
+
+class MetricsCollector:
+    """Buckets completions and plan decisions by schedule period."""
+
+    def __init__(
+        self,
+        engine: DatabaseEngine,
+        schedule: PeriodSchedule,
+        classes: List[ServiceClass],
+    ) -> None:
+        self.schedule = schedule
+        self.classes = list(classes)
+        self._cells: Dict[Tuple[int, str], PeriodClassMetrics] = {}
+        self._plan_points: List[Tuple[float, Dict[str, float]]] = []
+        self._total_completions = 0
+        engine.add_completion_listener(self.on_completion)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def on_completion(self, query: Query) -> None:
+        """Engine completion hook."""
+        if query.finish_time is None:
+            return
+        period = self.schedule.period_at(query.finish_time)
+        key = (period, query.class_name)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = PeriodClassMetrics()
+            self._cells[key] = cell
+        cell.add(query)
+        self._total_completions += 1
+
+    def on_plan(self, record: PlanRecord) -> None:
+        """Planner decision hook (register via planner.add_plan_listener)."""
+        self._plan_points.append((record.time, record.plan.as_dict()))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_completions(self) -> int:
+        """Total completed queries observed."""
+        return self._total_completions
+
+    def cell(self, period: int, class_name: str) -> Optional[PeriodClassMetrics]:
+        """The aggregate for one (period, class), or None if empty."""
+        return self._cells.get((period, class_name))
+
+    def metric_series(self, class_name: str, metric: str) -> List[Optional[float]]:
+        """Per-period series of a metric for one class.
+
+        ``metric`` is one of ``velocity``, ``response_time``,
+        ``execution_time``, ``wait_time`` (period means), ``throughput``
+        (completions per second), or ``response_p95`` / ``response_p99``
+        (tail latency).  Periods with no completions yield None.
+        """
+        series: List[Optional[float]] = []
+        for period in range(self.schedule.num_periods):
+            cell = self._cells.get((period, class_name))
+            if cell is None or cell.completions == 0:
+                series.append(None)
+                continue
+            if metric == "throughput":
+                series.append(cell.completions / self.schedule.period_seconds)
+            elif metric == "response_p95":
+                series.append(cell.response_percentile(95.0))
+            elif metric == "response_p99":
+                series.append(cell.response_percentile(99.0))
+            else:
+                series.append(getattr(cell, metric).mean)
+        return series
+
+    def performance_series(self, service_class: ServiceClass) -> List[Optional[float]]:
+        """The class's goal metric per period (velocity or response time)."""
+        metric = "velocity" if service_class.kind == "olap" else "response_time"
+        return self.metric_series(service_class.name, metric)
+
+    def goal_attainment(self, service_class: ServiceClass) -> float:
+        """Fraction of (non-empty) periods in which the class met its goal."""
+        series = self.performance_series(service_class)
+        observed = [v for v in series if v is not None]
+        if not observed:
+            return 0.0
+        met = sum(1 for v in observed if service_class.goal.satisfied(v))
+        return met / len(observed)
+
+    def plan_series(self, class_name: str) -> List[Tuple[float, float]]:
+        """(time, cost limit) points for one class (Figure 7's raw data)."""
+        return [
+            (time, limits[class_name])
+            for time, limits in self._plan_points
+            if class_name in limits
+        ]
+
+    def plan_period_means(self, class_name: str) -> List[Optional[float]]:
+        """Per-period mean cost limit of a class (Figure 7, period view)."""
+        sums = [0.0] * self.schedule.num_periods
+        counts = [0] * self.schedule.num_periods
+        for time, limits in self._plan_points:
+            if class_name not in limits:
+                continue
+            period = self.schedule.period_at(time)
+            sums[period] += limits[class_name]
+            counts[period] += 1
+        return [
+            (sums[i] / counts[i]) if counts[i] else None
+            for i in range(self.schedule.num_periods)
+        ]

@@ -1,0 +1,114 @@
+"""Result export: JSON and CSV serialisation of experiment outcomes.
+
+Downstream users want the per-period series and plan traces out of the
+simulator and into their own tooling; these helpers produce plain
+structures (JSON-ready dicts, CSV text) from a
+:class:`~repro.experiments.runner.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # avoid a circular import; the functions duck-type anyway
+    from repro.experiments.runner import ExperimentResult
+
+
+def result_to_dict(result: "ExperimentResult") -> Dict:
+    """Flatten an experiment result into a JSON-serialisable dict."""
+    classes = []
+    for service_class in result.classes:
+        series = result.collector.performance_series(service_class)
+        classes.append(
+            {
+                "name": service_class.name,
+                "kind": service_class.kind,
+                "metric": service_class.goal.metric,
+                "goal": service_class.goal.target,
+                "importance": service_class.importance,
+                "per_period": series,
+                "attainment": result.collector.goal_attainment(service_class),
+                "throughput_per_period": result.collector.metric_series(
+                    service_class.name, "throughput"
+                ),
+            }
+        )
+    plans = {
+        service_class.name: result.collector.plan_period_means(service_class.name)
+        for service_class in result.classes
+    }
+    return {
+        "controller": result.controller_name,
+        "seed": result.config.seed,
+        "system_cost_limit": result.config.system_cost_limit,
+        "period_seconds": result.schedule.period_seconds,
+        "num_periods": result.schedule.num_periods,
+        "total_completions": result.collector.total_completions,
+        "classes": classes,
+        "plan_period_means": plans,
+    }
+
+
+def result_to_json(result: "ExperimentResult", indent: Optional[int] = 2) -> str:
+    """JSON text for :func:`result_to_dict`."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def result_to_csv(result: "ExperimentResult") -> str:
+    """Per-period CSV: one row per (period, class) with all metrics."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "period",
+            "class",
+            "metric",
+            "goal",
+            "value",
+            "meets_goal",
+            "throughput",
+            "mean_plan_limit",
+        ]
+    )
+    for service_class in result.classes:
+        series = result.collector.performance_series(service_class)
+        throughput = result.collector.metric_series(service_class.name, "throughput")
+        plan_means = result.collector.plan_period_means(service_class.name)
+        for period in range(result.schedule.num_periods):
+            value = series[period]
+            meets: Optional[bool] = None
+            if value is not None:
+                meets = service_class.goal.satisfied(value)
+            writer.writerow(
+                [
+                    period + 1,
+                    service_class.name,
+                    service_class.goal.metric,
+                    service_class.goal.target,
+                    "" if value is None else "{:.6f}".format(value),
+                    "" if meets is None else meets,
+                    "" if throughput[period] is None else "{:.6f}".format(
+                        throughput[period]
+                    ),
+                    "" if plan_means[period] is None else "{:.1f}".format(
+                        plan_means[period]
+                    ),
+                ]
+            )
+    return buffer.getvalue()
+
+
+def save_result(result: "ExperimentResult", path: str) -> None:
+    """Write a result to ``path`` as JSON (.json) or CSV (anything else)."""
+    text = result_to_json(result) if path.endswith(".json") else result_to_csv(result)
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def load_result_dict(path: str) -> Dict:
+    """Read back a JSON result file as a plain dict."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,176 @@
+"""ASCII reporting of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.service_class import ServiceClass
+from repro.metrics.collector import MetricsCollector
+
+
+def _fmt(value: Optional[float], width: int = 8, digits: int = 3) -> str:
+    if value is None:
+        return " " * (width - 1) + "-"
+    return "{:>{w}.{d}f}".format(value, w=width, d=digits)
+
+
+def format_period_table(
+    collector: MetricsCollector,
+    classes: Sequence[ServiceClass],
+    title: str = "",
+) -> str:
+    """Per-period goal-metric table: one row per period, one column per class."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "period |"
+    for service_class in classes:
+        metric = "vel" if service_class.kind == "olap" else "rt(s)"
+        header += " {:>8} {:>5} |".format(service_class.name, metric)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for period in range(collector.schedule.num_periods):
+        row = "{:>6} |".format(period + 1)
+        for service_class in classes:
+            series = collector.performance_series(service_class)
+            value = series[period]
+            met = ""
+            if value is not None:
+                met = "ok" if service_class.goal.satisfied(value) else "MISS"
+            row += " {} {:>5} |".format(_fmt(value), met)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_summary(
+    collector: MetricsCollector,
+    classes: Sequence[ServiceClass],
+    title: str = "",
+) -> str:
+    """Per-class goal attainment summary."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for service_class in classes:
+        series = [v for v in collector.performance_series(service_class) if v is not None]
+        mean = sum(series) / len(series) if series else float("nan")
+        lines.append(
+            "  {:<8} goal={:<6} mean={:<8.3f} attainment={:>5.0%}".format(
+                service_class.name,
+                service_class.goal.target,
+                mean,
+                collector.goal_attainment(service_class),
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_plan_table(
+    collector: MetricsCollector,
+    class_names: Sequence[str],
+    title: str = "",
+) -> str:
+    """Per-period mean class cost limits (the Figure 7 view)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "period |" + "".join(" {:>10} |".format(name) for name in class_names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    means = {name: collector.plan_period_means(name) for name in class_names}
+    for period in range(collector.schedule.num_periods):
+        row = "{:>6} |".format(period + 1)
+        for name in class_names:
+            value = means[name][period]
+            row += " {} |".format(_fmt(value, width=10, digits=0))
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_series_chart(
+    series: Dict[str, Sequence[Optional[float]]],
+    height: int = 12,
+    goal_lines: Optional[Dict[str, float]] = None,
+    title: str = "",
+) -> str:
+    """Render one or more per-period series as an ASCII chart.
+
+    Each series gets a marker (its name's first letter, upper-cased per
+    series order); optional ``goal_lines`` draw a ``-`` row at a series'
+    goal value.  Values are scaled to a shared y-axis; None values leave
+    gaps.  Purely cosmetic but makes bench logs reviewable at a glance.
+    """
+    if height < 3:
+        raise ValueError("chart height must be >= 3")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    values = [
+        v for s in series.values() for v in s if v is not None
+    ]
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    lo = min(values + list((goal_lines or {}).values()))
+    hi = max(values + list((goal_lines or {}).values()))
+    if hi <= lo:
+        hi = lo + 1.0
+    width = max(len(s) for s in series.values())
+    markers = {}
+    for index, name in enumerate(series):
+        markers[name] = chr(ord("A") + (index % 26))
+
+    def row_of(value: float) -> int:
+        scaled = (value - lo) / (hi - lo)
+        return min(height - 1, max(0, int(round(scaled * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, goal in (goal_lines or {}).items():
+        r = row_of(goal)
+        for column in range(width):
+            if grid[height - 1 - r][column] == " ":
+                grid[height - 1 - r][column] = "-"
+    for name, points in series.items():
+        for column, value in enumerate(points):
+            if value is None:
+                continue
+            r = row_of(value)
+            grid[height - 1 - r][column] = markers[name]
+    for index, row in enumerate(grid):
+        level = hi - (hi - lo) * index / (height - 1)
+        lines.append("{:>8.3f} |{}".format(level, "".join(row)))
+    lines.append(" " * 9 + "+" + "-" * width)
+    legend = "  ".join("{}={}".format(markers[name], name) for name in series)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def format_figure_series(
+    series: Dict[str, Sequence[Optional[float]]],
+    x_label: str = "period",
+    title: str = "",
+    digits: int = 3,
+) -> str:
+    """Generic multi-series table keyed by series name."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    names = list(series)
+    length = max((len(s) for s in series.values()), default=0)
+    header = "{:>8} |".format(x_label) + "".join(
+        " {:>10} |".format(name) for name in names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index in range(length):
+        row = "{:>8} |".format(index + 1)
+        for name in names:
+            values = series[name]
+            value = values[index] if index < len(values) else None
+            row += " {} |".format(_fmt(value, width=10, digits=digits))
+        lines.append(row)
+    return "\n".join(lines)

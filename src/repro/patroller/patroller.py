@@ -1,0 +1,206 @@
+"""The Query Patroller interceptor.
+
+Responsibilities, mirroring DB2 QP as the paper uses it (Section 2):
+
+* **Interception** — queries of *enabled* classes are intercepted: after an
+  interception latency their details land in the control tables, extra CPU
+  overhead is charged to the statement, and the submitting agent blocks.
+* **Bypass** — queries of classes QP is turned off for (the OLTP class in
+  every experiment, Section 3) go straight to the engine with no overhead.
+* **Release** — the unblocking API: ``release(query)`` lets a held query
+  proceed into the engine after a small release latency.
+
+Whoever performs workload control (the paper's Query Scheduler dispatcher,
+or QP's own static policy) registers itself as the *release handler* and is
+handed every intercepted query; it then decides when to call ``release``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.config import PatrollerConfig
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.query import CPU, Phase, Query, QueryState
+from repro.errors import PatrollerError
+from repro.patroller.tables import ControlTables
+from repro.sim.engine import Simulator
+
+ReleaseHandler = Callable[[Query], None]
+
+
+class QueryPatroller:
+    """Interception layer between clients and the database engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: DatabaseEngine,
+        config: PatrollerConfig,
+    ) -> None:
+        config.validate()
+        self.sim = sim
+        self.engine = engine
+        self.config = config
+        self.tables = ControlTables()
+        self._intercepted_classes: Set[str] = set()
+        self._release_handler: Optional[ReleaseHandler] = None
+        self._held: Set[int] = set()
+        self._intercepted_count = 0
+        self._bypassed_count = 0
+        self._submit_listeners = []
+        engine.add_completion_listener(self._on_completion)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def enable_for_class(self, class_name: str) -> None:
+        """Turn interception on for a service class."""
+        self._intercepted_classes.add(class_name)
+
+    def disable_for_class(self, class_name: str) -> None:
+        """Turn interception off for a service class (queries bypass QP)."""
+        self._intercepted_classes.discard(class_name)
+
+    def intercepts(self, class_name: str) -> bool:
+        """Whether queries of this class are currently intercepted."""
+        return class_name in self._intercepted_classes
+
+    def set_release_handler(self, handler: ReleaseHandler) -> None:
+        """Install the controller that decides when held queries release."""
+        self._release_handler = handler
+
+    def add_submit_listener(self, listener: ReleaseHandler) -> None:
+        """Observe every submitted statement (bypassed and intercepted).
+
+        Used by workload detection: unlike the control tables, this sees
+        the OLTP traffic too.
+        """
+        self._submit_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def held_queries(self) -> int:
+        """Queries currently intercepted and not yet released."""
+        return len(self._held)
+
+    @property
+    def intercepted_count(self) -> int:
+        """Total queries ever intercepted."""
+        return self._intercepted_count
+
+    @property
+    def bypassed_count(self) -> int:
+        """Total queries that went straight to the engine."""
+        return self._bypassed_count
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> None:
+        """Entry point for every statement leaving a client."""
+        query.submit_time = self.sim.now
+        for listener in self._submit_listeners:
+            listener(query)
+        if query.class_name not in self._intercepted_classes:
+            self._bypassed_count += 1
+            self.engine.execute(query)
+            return
+        self._intercepted_count += 1
+        self.sim.schedule(
+            self.config.interception_latency,
+            lambda: self._intercept(query),
+            label="qp:intercept:{}".format(query.query_id),
+        )
+
+    def _intercept(self, query: Query) -> None:
+        query.state = QueryState.INTERCEPTED
+        query.intercept_time = self.sim.now
+        if self.config.overhead_cpu_demand > 0:
+            # QP's bookkeeping burns server CPU on behalf of the statement.
+            query.phases = (Phase(CPU, self.config.overhead_cpu_demand),) + query.phases
+        self.tables.record_interception(
+            query_id=query.query_id,
+            class_name=query.class_name,
+            client_id=query.client_id,
+            template=query.template,
+            kind=query.kind,
+            estimated_cost=query.estimated_cost,
+            submit_time=query.submit_time if query.submit_time is not None else 0.0,
+            intercept_time=self.sim.now,
+        )
+        self._held.add(query.query_id)
+        query.state = QueryState.QUEUED
+        query.queue_time = self.sim.now
+        if self._release_handler is None:
+            raise PatrollerError(
+                "query {} intercepted with no release handler installed".format(
+                    query.query_id
+                )
+            )
+        self._release_handler(query)
+
+    def release(self, query: Query) -> None:
+        """The unblocking API: let a held query proceed into the engine."""
+        if query.query_id not in self._held:
+            raise PatrollerError(
+                "release of query {} which is not held".format(query.query_id)
+            )
+        self._held.discard(query.query_id)
+        self.tables.mark_released(query.query_id, self.sim.now)
+        query.state = QueryState.RELEASED
+        # The release decision marks the start of "running in the DBMS":
+        # the release latency is execution overhead, not scheduler hold time.
+        query.release_time = self.sim.now
+        if self.config.release_latency > 0:
+            self.sim.schedule(
+                self.config.release_latency,
+                lambda: self.engine.execute(query),
+                label="qp:release:{}".format(query.query_id),
+            )
+        else:
+            self.engine.execute(query)
+
+    def cancel(self, query: Query) -> bool:
+        """Cancel a held (still-queued) query — the QP cancel command.
+
+        Only queued statements can be cancelled; once released the agent is
+        executing and the request is refused (returns False).  The query
+        never reaches the engine: its state becomes CANCELLED and the
+        control-table row records the abandonment.
+        """
+        if query.query_id not in self._held:
+            return False
+        self._held.discard(query.query_id)
+        self.tables.mark_cancelled(query.query_id, self.sim.now)
+        query.state = QueryState.CANCELLED
+        query.finish_time = self.sim.now
+        return True
+
+    def reject(self, query: Query) -> None:
+        """Refuse a held query outright (QP's max-cost rejection).
+
+        The submitter is notified through the query's completion callback
+        with state REJECTED; the statement never reaches the engine.
+        """
+        if query.query_id not in self._held:
+            raise PatrollerError(
+                "reject of query {} which is not held".format(query.query_id)
+            )
+        self._held.discard(query.query_id)
+        self.tables.mark_rejected(query.query_id, self.sim.now)
+        query.state = QueryState.REJECTED
+        query.finish_time = self.sim.now
+        if query.on_complete is not None:
+            query.on_complete(query)
+
+    def _on_completion(self, query: Query) -> None:
+        # Only queries that went through interception have table rows.
+        try:
+            record = self.tables.get(query.query_id)
+        except PatrollerError:
+            return
+        if record.status == "released":
+            self.tables.mark_completed(query.query_id, self.sim.now)

@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the bottom-most substrate: a deterministic, heap-based
+event loop (:class:`~repro.sim.engine.Simulator`), named reproducible random
+streams (:class:`~repro.sim.rng.RandomStreams`), virtual-time processor-sharing
+resources (:class:`~repro.sim.resources.ProcessorSharingResource`), and online
+statistics helpers used throughout the higher layers.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventHandle
+from repro.sim.process import Delay, Process, WaitFor
+from repro.sim.resources import ProcessorSharingResource, PSJob
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import (
+    Histogram,
+    SlidingWindow,
+    TimeWeightedValue,
+    WelfordAccumulator,
+)
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventHandle",
+    "ProcessorSharingResource",
+    "PSJob",
+    "Process",
+    "Delay",
+    "WaitFor",
+    "RandomStreams",
+    "WelfordAccumulator",
+    "SlidingWindow",
+    "TimeWeightedValue",
+    "Histogram",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,168 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the virtual clock and the event heap.  It is a plain
+callback-driven engine: components schedule zero-argument callables at future
+times and the engine fires them in ``(time, priority, sequence)`` order.  The
+engine is single-threaded and fully deterministic given deterministic
+callbacks, which is what makes every experiment in this repository exactly
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import DEFAULT_PRIORITY, Event, EventHandle
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """Heap-based discrete-event simulator.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer`; when provided, every fired
+        event is recorded, which is invaluable when debugging scheduling
+        interleavings but too expensive to leave on for long runs.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._fired = 0
+        self._running = False
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap (including tombstones)."""
+        return len(self._heap)
+
+    @property
+    def fired_events(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay fires after all events
+        already scheduled for the current instant with equal priority.
+        """
+        if delay < 0:
+            raise SimulationError(
+                "cannot schedule event {!r} with negative delay {}".format(label, delay)
+            )
+        return self.schedule_at(self._now + delay, callback, label, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule event {!r} at {} before now ({})".format(
+                    label, time, self._now
+                )
+            )
+        event = Event(time, priority, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns False when the heap is exhausted, True otherwise.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            # Mark as consumed so that late cancel() calls become no-ops.
+            event.cancelled = True
+            self._fired += 1
+            if self.tracer is not None:
+                self.tracer.record(self._now, "event", event.label)
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until the clock reaches ``end_time``.
+
+        Events scheduled exactly at ``end_time`` are executed.  The clock is
+        left at ``end_time`` even if the heap drains early, so periodic
+        post-run measurements see a consistent horizon.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                "run_until({}) is in the past (now={})".format(end_time, self._now)
+            )
+        if self._running:
+            raise SimulationError("run_until() called re-entrantly from a callback")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if event.time > end_time:
+                    break
+                self.step()
+            self._now = max(self._now, end_time)
+        finally:
+            self._running = False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains (or ``max_events`` events fired).
+
+        Returns the number of events fired by this call.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly from a callback")
+        self._running = True
+        fired = 0
+        try:
+            while self.step():
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        return fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Simulator(now={:.6f}, pending={}, fired={})".format(
+            self._now, len(self._heap), self._fired
+        )

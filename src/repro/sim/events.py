@@ -1,0 +1,99 @@
+"""Event records for the discrete-event simulator.
+
+An :class:`Event` couples a firing time with a zero-argument callback.  Events
+are totally ordered by ``(time, priority, sequence)`` so that simultaneous
+events fire in a deterministic order: first by explicit priority (lower fires
+first), then by scheduling order.
+
+Cancellation is handled through :class:`EventHandle` using the standard
+"tombstone" idiom: cancelling marks the event dead and the engine skips dead
+events when it pops them, which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+#: Default event priority.  Most events use this; ties break on sequence.
+DEFAULT_PRIORITY = 0
+
+
+class Event:
+    """A scheduled callback inside the simulation.
+
+    Instances are created by :meth:`repro.sim.engine.Simulator.schedule`; user
+    code normally only sees the :class:`EventHandle` wrapper.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def sort_key(self) -> tuple:
+        """Total order used by the event heap."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        label = self.label or self.callback
+        return "Event(t={:.6f}, prio={}, seq={}, {}, {})".format(
+            self.time, self.priority, self.seq, label, state
+        )
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulation time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """The diagnostic label attached at scheduling time."""
+        return self._event.label
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not fired, not cancelled)."""
+        return not self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event if still pending.
+
+        Returns True if this call cancelled the event, False if it was
+        already cancelled or has already fired (fired events are marked
+        cancelled by the engine as they execute).
+        """
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+    def _raw(self) -> Optional[Event]:
+        return self._event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "EventHandle({!r})".format(self._event)

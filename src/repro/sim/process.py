@@ -1,0 +1,129 @@
+"""Coroutine-style processes on the callback simulator.
+
+The kernel is callback-driven (fast, simple), but multi-step behaviours —
+"wait 5s, grab the resource, wait for it, then loop" — read better as a
+generator.  :class:`Process` runs such a generator on the simulator: the
+generator ``yield``s *wait requests* and is resumed when they complete.
+
+Supported yields:
+
+* ``Delay(seconds)`` — resume after simulated time passes;
+* ``WaitFor(armer)`` — call ``armer(resume)`` and resume when the process's
+  own ``resume(value)`` callback fires (adapts anything callback-shaped,
+  e.g. a PS job completion);
+* a plain ``float``/``int`` — shorthand for ``Delay``.
+
+Example::
+
+    def worker(sim, pool):
+        yield 1.0                       # think
+        job = PSJob("step", 2.0)
+        yield WaitFor(lambda done: pool.submit(
+            PSJob("step", 2.0, on_complete=done)))
+        # job finished; loop or stop
+
+    Process(sim, worker(sim, pool)).start()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, NamedTuple, Optional, Union
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class Delay(NamedTuple):
+    """Yield to sleep for ``seconds`` of simulated time."""
+
+    seconds: float
+
+
+class WaitFor(NamedTuple):
+    """Yield to wait for an external completion callback.
+
+    ``armer`` is called with a one-shot ``resume(value)`` function; the
+    process continues (receiving ``value``) when it is invoked.
+    """
+
+    armer: Callable[[Callable[[Any], None]], Any]
+
+
+Yieldable = Union[Delay, WaitFor, float, int]
+
+
+class Process:
+    """Drives a generator of wait requests on the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Yieldable, Any, Any],
+        name: str = "process",
+    ) -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.done = False
+        self.result: Optional[Any] = None
+        self._started = False
+        self._waiting = False
+
+    def start(self) -> "Process":
+        """Begin executing at the current simulation instant."""
+        if self._started:
+            raise SimulationError("process {!r} started twice".format(self.name))
+        self._started = True
+        self.sim.schedule(0.0, lambda: self._step(None), label="proc:{}".format(self.name))
+        return self
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _step(self, value: Any) -> None:
+        self._waiting = False
+        try:
+            request = self.generator.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            return
+        self._arm(request)
+
+    def _arm(self, request: Yieldable) -> None:
+        if isinstance(request, (int, float)):
+            request = Delay(float(request))
+        if isinstance(request, Delay):
+            if request.seconds < 0:
+                raise SimulationError(
+                    "process {!r} yielded a negative delay".format(self.name)
+                )
+            self._waiting = True
+            self.sim.schedule(
+                request.seconds,
+                lambda: self._step(None),
+                label="proc:{}:delay".format(self.name),
+            )
+            return
+        if isinstance(request, WaitFor):
+            self._waiting = True
+            fired = {"done": False}
+
+            def resume(value: Any = None) -> None:
+                if fired["done"]:
+                    raise SimulationError(
+                        "process {!r} resumed twice for one wait".format(self.name)
+                    )
+                fired["done"] = True
+                # Step on a fresh event so the resumer's stack unwinds first.
+                self.sim.schedule(
+                    0.0,
+                    lambda: self._step(value),
+                    label="proc:{}:resume".format(self.name),
+                )
+
+            request.armer(resume)
+            return
+        raise SimulationError(
+            "process {!r} yielded unsupported {!r}".format(self.name, request)
+        )

@@ -1,0 +1,292 @@
+"""Virtual-time processor-sharing resources.
+
+The database server is modelled as a small set of multi-server
+processor-sharing (PS) pools: a CPU pool (2 servers in the paper's xSeries
+240) and a disk pool (17 servers).  With ``n`` jobs in service on a pool of
+``m`` servers, every job progresses at::
+
+    rate = speed * min(1, m / n) * efficiency
+
+i.e. jobs run at full speed while there are idle servers and share equally
+once the pool is saturated.  ``efficiency`` is an externally supplied
+multiplier used by the overload model (:mod:`repro.dbms.overload`) to model
+thrashing past the saturation knee.
+
+Simulating PS naively costs O(n) per arrival/departure because every
+remaining service time changes.  We instead integrate a per-pool *virtual
+time* ``v(t)`` whose derivative is the common per-job rate.  A job arriving
+with demand ``d`` then completes exactly when ``v`` reaches ``v_arrival + d``
+— a constant — so completions live in an ordinary min-heap keyed by finish
+virtual time, and every state change costs O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+
+#: Relative tolerance used when deciding whether a job's finish virtual time
+#: has been reached.  Guards against floating-point drift in the integrator.
+_EPS = 1e-9
+
+
+class PSJob:
+    """One unit of work in service on a :class:`ProcessorSharingResource`.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label.
+    demand:
+        Service demand in seconds-at-full-speed.  Must be non-negative.
+    on_complete:
+        Callback invoked (with the job) when service finishes.
+    """
+
+    __slots__ = (
+        "name",
+        "demand",
+        "on_complete",
+        "finish_vtime",
+        "seq",
+        "cancelled",
+        "start_time",
+        "finish_time",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        demand: float,
+        on_complete: Optional[Callable[["PSJob"], None]] = None,
+    ) -> None:
+        if demand < 0:
+            raise SimulationError("PSJob {!r} has negative demand {}".format(name, demand))
+        self.name = name
+        self.demand = float(demand)
+        self.on_complete = on_complete
+        self.finish_vtime = 0.0
+        self.seq = 0
+        self.cancelled = False
+        self.start_time = 0.0
+        self.finish_time: Optional[float] = None
+
+    def __lt__(self, other: "PSJob") -> bool:
+        return (self.finish_vtime, self.seq) < (other.finish_vtime, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PSJob({!r}, demand={:.6f})".format(self.name, self.demand)
+
+
+class ProcessorSharingResource:
+    """An egalitarian multi-server processor-sharing pool.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Pool name (used in event labels and traces).
+    servers:
+        Number of servers; with fewer jobs than servers every job runs at
+        full speed.
+    speed:
+        Speed multiplier applied to every job (default 1.0).
+    """
+
+    def __init__(self, sim: Simulator, name: str, servers: int, speed: float = 1.0) -> None:
+        if servers < 1:
+            raise SimulationError("resource {!r} needs >= 1 server".format(name))
+        if speed <= 0:
+            raise SimulationError("resource {!r} needs positive speed".format(name))
+        self.sim = sim
+        self.name = name
+        self.servers = int(servers)
+        self.speed = float(speed)
+        self._efficiency = 1.0
+        self._vtime = 0.0
+        self._vtime_updated_at = sim.now
+        self._heap: List[PSJob] = []
+        self._njobs = 0
+        self._seq = 0
+        self._timer: Optional[EventHandle] = None
+        # Statistics.
+        self._completed_jobs = 0
+        self._completed_demand = 0.0
+        self._busy_integral = 0.0  # integral of min(njobs, servers) over time
+        self._jobs_integral = 0.0  # integral of njobs over time
+        self._last_stat_time = sim.now
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently in service."""
+        return self._njobs
+
+    @property
+    def efficiency(self) -> float:
+        """Current externally supplied efficiency multiplier."""
+        return self._efficiency
+
+    @property
+    def completed_jobs(self) -> int:
+        """Total jobs that finished service on this pool."""
+        return self._completed_jobs
+
+    @property
+    def completed_demand(self) -> float:
+        """Total service demand (seconds-at-full-speed) completed."""
+        return self._completed_demand
+
+    def per_job_rate(self) -> float:
+        """The rate at which every in-service job currently progresses."""
+        if self._njobs == 0:
+            return self.speed * self._efficiency
+        share = min(1.0, self.servers / self._njobs)
+        return self.speed * share * self._efficiency
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Average fraction of servers busy since the start of the run."""
+        self._accumulate_stats()
+        elapsed = horizon if horizon is not None else self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.servers)
+
+    def mean_jobs_in_service(self) -> float:
+        """Time-averaged number of jobs in service."""
+        self._accumulate_stats()
+        if self.sim.now <= 0:
+            return 0.0
+        return self._jobs_integral / self.sim.now
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def submit(self, job: PSJob) -> PSJob:
+        """Begin service for ``job`` immediately.
+
+        PS has no waiting room: admission control lives above this layer (the
+        Query Patroller / dispatcher decide *when* work reaches the pools).
+        """
+        self._advance()
+        job.seq = self._seq
+        self._seq += 1
+        job.start_time = self.sim.now
+        job.finish_vtime = self._vtime + job.demand
+        heapq.heappush(self._heap, job)
+        self._njobs += 1
+        self._reschedule()
+        return job
+
+    def cancel(self, job: PSJob) -> bool:
+        """Abort an in-service job; returns False if already done/cancelled."""
+        if job.cancelled or job.finish_time is not None:
+            return False
+        self._advance()
+        job.cancelled = True
+        self._njobs -= 1
+        self._reschedule()
+        return True
+
+    def remaining_demand(self, job: PSJob) -> float:
+        """Service demand the job still has to receive (0 when done)."""
+        if job.finish_time is not None or job.cancelled:
+            return 0.0
+        self._advance()
+        return max(0.0, job.finish_vtime - self._vtime)
+
+    def set_efficiency(self, efficiency: float) -> None:
+        """Install a new efficiency multiplier (from the overload model)."""
+        if efficiency <= 0:
+            raise SimulationError(
+                "resource {!r} efficiency must stay positive (got {})".format(
+                    self.name, efficiency
+                )
+            )
+        if efficiency == self._efficiency:
+            return
+        self._advance()
+        self._efficiency = float(efficiency)
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _accumulate_stats(self) -> None:
+        dt = self.sim.now - self._last_stat_time
+        if dt > 0:
+            self._busy_integral += min(self._njobs, self.servers) * dt
+            self._jobs_integral += self._njobs * dt
+            self._last_stat_time = self.sim.now
+
+    def _advance(self) -> None:
+        """Integrate virtual time up to the current instant."""
+        self._accumulate_stats()
+        now = self.sim.now
+        dt = now - self._vtime_updated_at
+        if dt > 0 and self._njobs > 0:
+            self._vtime += dt * self.per_job_rate()
+        self._vtime_updated_at = now
+
+    def _reschedule(self) -> None:
+        """(Re-)arm the completion timer for the earliest-finishing job."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        # Drop tombstones so the heap head is a live job.
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return
+        head = self._heap[0]
+        rate = self.per_job_rate()
+        if rate <= 0:  # pragma: no cover - efficiency is validated positive
+            raise SimulationError("resource {!r} stalled at rate 0".format(self.name))
+        remaining_v = max(0.0, head.finish_vtime - self._vtime)
+        delay = remaining_v / rate
+        self._timer = self.sim.schedule(
+            delay, self._on_timer, label="ps:{}:complete".format(self.name)
+        )
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._advance()
+        threshold = self._vtime * (1.0 + _EPS) + _EPS
+        finished: List[PSJob] = []
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.finish_vtime <= threshold:
+                heapq.heappop(self._heap)
+                finished.append(head)
+                continue
+            break
+        if not finished:
+            # Spurious wake-up (e.g. rate changed); just re-arm.
+            self._reschedule()
+            return
+        self._njobs -= len(finished)
+        for job in finished:
+            job.finish_time = self.sim.now
+            job.cancelled = True  # block late cancel() calls
+            self._completed_jobs += 1
+            self._completed_demand += job.demand
+        # Re-arm before invoking callbacks: callbacks may submit new work.
+        self._reschedule()
+        for job in finished:
+            if job.on_complete is not None:
+                job.on_complete(job)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ProcessorSharingResource({!r}, servers={}, jobs={})".format(
+            self.name, self.servers, self._njobs
+        )

@@ -1,0 +1,223 @@
+"""Online statistics used across the simulation and controller layers.
+
+Everything here is O(1) per observation (except percentile queries on the
+histogram, which are O(bins)) so metric collection never dominates run time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Tuple
+
+
+class WelfordAccumulator:
+    """Numerically stable streaming mean/variance (Welford's algorithm)."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean; 0.0 when empty (convenient for reporting)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance; 0.0 with fewer than two observations."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "WelfordAccumulator") -> None:
+        """Fold another accumulator into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.total = other.total
+            return
+        total_count = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total_count
+        self._mean += delta * other.count / total_count
+        self.count = total_count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "WelfordAccumulator(n={}, mean={:.6f}, sd={:.6f})".format(
+            self.count, self.mean, self.stddev
+        )
+
+
+class SlidingWindow:
+    """Fixed-capacity window of (time, value) samples with O(1) mean.
+
+    Used by the Monitor for "average response time over the last sampling
+    window" style measurements.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("SlidingWindow capacity must be >= 1")
+        self.capacity = capacity
+        self._items: Deque[Tuple[float, float]] = deque()
+        self._sum = 0.0
+
+    def add(self, time: float, value: float) -> None:
+        """Append a sample, evicting the oldest if at capacity."""
+        self._items.append((time, value))
+        self._sum += value
+        if len(self._items) > self.capacity:
+            _, old = self._items.popleft()
+            self._sum -= old
+
+    def evict_older_than(self, cutoff: float) -> None:
+        """Drop samples whose timestamp precedes ``cutoff``."""
+        while self._items and self._items[0][0] < cutoff:
+            _, old = self._items.popleft()
+            self._sum -= old
+
+    @property
+    def mean(self) -> float:
+        """Mean of retained sample values; 0.0 when empty."""
+        if not self._items:
+            return 0.0
+        return self._sum / len(self._items)
+
+    def values(self) -> List[float]:
+        """Retained sample values, oldest first."""
+        return [v for _, v in self._items]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class TimeWeightedValue:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Feed it every change point; query the average over the elapsed span.
+    Used for "average number of concurrent queries" and "average cost in
+    flight" style metrics.
+    """
+
+    def __init__(self, initial: float = 0.0, start_time: float = 0.0) -> None:
+        self._value = initial
+        self._last_time = start_time
+        self._start_time = start_time
+        self._integral = 0.0
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at ``time``."""
+        if time < self._last_time:
+            raise ValueError("TimeWeightedValue updates must be monotone in time")
+        self._integral += self._value * (time - self._last_time)
+        self._value = value
+        self._last_time = time
+
+    @property
+    def current(self) -> float:
+        """The most recently recorded value of the signal."""
+        return self._value
+
+    def average(self, now: float) -> float:
+        """Time-weighted average over [start, now]; 0.0 on an empty span."""
+        span = now - self._start_time
+        if span <= 0:
+            return self._value
+        integral = self._integral + self._value * (now - self._last_time)
+        return integral / span
+
+    def reset(self, now: float) -> None:
+        """Restart averaging from ``now``, keeping the current value."""
+        self._integral = 0.0
+        self._last_time = now
+        self._start_time = now
+
+
+class Histogram:
+    """Fixed-bin histogram over [low, high) with overflow/underflow bins.
+
+    Percentile queries interpolate linearly inside the selected bin, which is
+    plenty for latency-distribution reporting.
+    """
+
+    def __init__(self, low: float, high: float, bins: int = 64) -> None:
+        if high <= low:
+            raise ValueError("Histogram needs high > low")
+        if bins < 1:
+            raise ValueError("Histogram needs >= 1 bin")
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self._width = (high - low) / bins
+        self._counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        if value < self.low:
+            self.underflow += 1
+            return
+        if value >= self.high:
+            self.overflow += 1
+            return
+        index = int((value - self.low) / self._width)
+        # Guard the upper edge against float rounding.
+        if index >= self.bins:
+            index = self.bins - 1
+        self._counts[index] += 1
+
+    def percentile(self, q: float) -> float:
+        """Approximate the q-th percentile (q in [0, 100])."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile q must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = self.count * q / 100.0
+        cumulative = float(self.underflow)
+        if cumulative >= target:
+            return self.low
+        for index, bucket in enumerate(self._counts):
+            if cumulative + bucket >= target and bucket > 0:
+                fraction = (target - cumulative) / bucket
+                return self.low + (index + fraction) * self._width
+            cumulative += bucket
+        return self.high
+
+    def counts(self) -> List[int]:
+        """Per-bin counts (excludes under/overflow)."""
+        return list(self._counts)

@@ -1,0 +1,70 @@
+"""Structured tracing for simulation debugging.
+
+The tracer is deliberately simple: a bounded list of ``(time, kind, detail)``
+records.  It is off by default everywhere; tests and debugging sessions attach
+one to the :class:`~repro.sim.engine.Simulator` or to individual components.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    """One traced occurrence inside the simulation."""
+
+    time: float
+    kind: str
+    detail: str
+
+
+class Tracer:
+    """Bounded in-memory trace sink.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of records retained; older records are dropped first.
+        ``None`` means unbounded (use only for short runs).
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000) -> None:
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+        self._dropped = 0
+
+    def record(self, time: float, kind: str, detail: str = "") -> None:
+        """Append a record, evicting the oldest when over capacity."""
+        self._records.append(TraceRecord(time, kind, detail))
+        if self.capacity is not None and len(self._records) > self.capacity:
+            # Drop in chunks to keep amortised cost low.
+            excess = len(self._records) - self.capacity
+            del self._records[:excess]
+            self._dropped += excess
+
+    @property
+    def dropped(self) -> int:
+        """Number of records evicted due to the capacity bound."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(self, kind: str) -> List[TraceRecord]:
+        """Return retained records of the given kind."""
+        return [r for r in self._records if r.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all retained records (the dropped counter is kept)."""
+        self._records.clear()
+
+    def format(self, limit: int = 50) -> str:
+        """Human-readable dump of the most recent ``limit`` records."""
+        lines = [
+            "{:>12.6f}  {:<12} {}".format(r.time, r.kind, r.detail)
+            for r in self._records[-limit:]
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Open-loop workload sources.
+
+The paper's experiments are closed-loop (interactive clients, zero think
+time), but workload managers in production also face *open* arrival
+streams — requests arrive at a rate that does not slow down when the
+server does.  :class:`OpenLoopSource` submits queries from a workload mix
+as a Poisson process whose rate can be changed at any time (e.g. by a
+schedule), which is the classic way to push a system past saturation and
+exactly what admission control exists to survive.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.patroller.patroller import QueryPatroller
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.spec import QueryFactory, WorkloadMix
+
+
+class OpenLoopSource:
+    """Poisson arrival process over a workload mix.
+
+    Parameters
+    ----------
+    sim, patroller, factory, mix, class_name:
+        As for :class:`~repro.workloads.client.ClosedLoopClient`.
+    rng:
+        Random streams; inter-arrival draws use stream
+        ``"openloop:<class_name>"``.
+    rate:
+        Initial arrival rate in statements/second (0 = paused).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        patroller: QueryPatroller,
+        factory: QueryFactory,
+        mix: WorkloadMix,
+        class_name: str,
+        rng: RandomStreams,
+        rate: float = 0.0,
+    ) -> None:
+        if rate < 0:
+            raise WorkloadError("arrival rate must be non-negative")
+        self.sim = sim
+        self.patroller = patroller
+        self.factory = factory
+        self.mix = mix
+        self.class_name = class_name
+        self.rng = rng
+        self._rate = rate
+        self._stream = "openloop:{}".format(class_name)
+        self.queries_submitted = 0
+        self._running = False
+        self._next_client = 0
+
+    @property
+    def rate(self) -> float:
+        """Current arrival rate (statements/second)."""
+        return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        """Change the arrival rate; takes effect from the next arrival."""
+        if rate < 0:
+            raise WorkloadError("arrival rate must be non-negative")
+        was_paused = self._rate == 0
+        self._rate = rate
+        if self._running and was_paused and rate > 0:
+            self._schedule_next()
+
+    def start(self) -> None:
+        """Begin generating arrivals."""
+        if self._running:
+            raise WorkloadError("OpenLoopSource started twice")
+        self._running = True
+        if self._rate > 0:
+            self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating (already scheduled arrivals still fire)."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        if not self._running or self._rate <= 0:
+            return
+        gap = self.rng.exponential(self._stream, 1.0 / self._rate)
+        self.sim.schedule(gap, self._arrive, label="openloop:{}".format(self.class_name))
+
+    def _arrive(self) -> None:
+        if not self._running or self._rate <= 0:
+            return
+        # Open-loop semantics: every arrival is its own "connection".
+        client_id = "{}-open{}".format(self.class_name, self._next_client)
+        self._next_client += 1
+        query = self.factory.create(self.mix, self.class_name, client_id)
+        self.queries_submitted += 1
+        self.patroller.submit(query)
+        self._schedule_next()

@@ -1,0 +1,179 @@
+"""The 18-period workload intensity schedule (paper Figure 3).
+
+The paper's run is 18 consecutive periods; the client count of every class is
+constant within a period.  The exact per-period counts are not recoverable
+from the degraded figure, so :func:`paper_schedule` reconstructs a schedule
+satisfying every constraint the text states (see DESIGN.md §2):
+
+* Class 3 (TPC-C) cycles low/medium/high = 15/20/25 clients, so its highs
+  fall on periods 3, 6, 9, 12, 15, 18 and its lows on 1, 4, 7, 10, 13, 16.
+* OLAP class counts stay within 2..6.
+* Period 18 is the heaviest overall, with Class 1 = 2, Class 2 = 6,
+  Class 3 = 25.
+* Period 17 pairs medium OLTP intensity with high OLAP intensity.
+
+:class:`ClientPoolManager` enforces a schedule over pools of closed-loop
+clients, creating clients lazily and (de)activating them at period
+boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.workloads.client import ClosedLoopClient
+
+#: Reconstructed per-period client counts (period 1 first).
+_PAPER_CLASS1 = (2, 2, 3, 2, 3, 3, 4, 3, 4, 2, 2, 2, 3, 3, 4, 2, 3, 2)
+_PAPER_CLASS2 = (2, 3, 3, 3, 3, 4, 3, 4, 4, 4, 5, 5, 4, 5, 4, 4, 5, 6)
+_PAPER_CLASS3 = (15, 20, 25) * 6
+
+
+class PeriodSchedule:
+    """Per-class client counts for each period of a run."""
+
+    def __init__(
+        self,
+        period_seconds: float,
+        counts: Dict[str, Sequence[int]],
+    ) -> None:
+        if period_seconds <= 0:
+            raise WorkloadError("period_seconds must be positive")
+        if not counts:
+            raise WorkloadError("schedule needs at least one class")
+        lengths = {len(series) for series in counts.values()}
+        if len(lengths) != 1:
+            raise WorkloadError("all classes need the same number of periods")
+        self.period_seconds = float(period_seconds)
+        self.counts: Dict[str, Tuple[int, ...]] = {
+            name: tuple(int(c) for c in series) for name, series in counts.items()
+        }
+        for name, series in self.counts.items():
+            if any(c < 0 for c in series):
+                raise WorkloadError("class {!r} has a negative client count".format(name))
+        self.num_periods = lengths.pop()
+
+    @property
+    def horizon(self) -> float:
+        """Total scheduled duration."""
+        return self.period_seconds * self.num_periods
+
+    @property
+    def class_names(self) -> List[str]:
+        """Classes covered by the schedule."""
+        return sorted(self.counts)
+
+    def period_at(self, time: float) -> int:
+        """0-based period index for a simulation time (clamped to the end)."""
+        if time < 0:
+            raise WorkloadError("negative time {}".format(time))
+        index = int(time / self.period_seconds)
+        return min(index, self.num_periods - 1)
+
+    def count_at(self, class_name: str, time: float) -> int:
+        """Scheduled client count of a class at a simulation time."""
+        return self.counts[class_name][self.period_at(time)]
+
+    def peak_count(self, class_name: str) -> int:
+        """Largest scheduled client count of a class."""
+        return max(self.counts[class_name])
+
+    def scaled(self, period_seconds: float) -> "PeriodSchedule":
+        """Same shape on a different period length."""
+        return PeriodSchedule(period_seconds, dict(self.counts))
+
+
+def paper_schedule(period_seconds: float = 120.0) -> PeriodSchedule:
+    """The reconstructed Figure 3 schedule (see module docstring)."""
+    return PeriodSchedule(
+        period_seconds,
+        {
+            "class1": _PAPER_CLASS1,
+            "class2": _PAPER_CLASS2,
+            "class3": _PAPER_CLASS3,
+        },
+    )
+
+
+def constant_schedule(
+    period_seconds: float,
+    num_periods: int,
+    counts: Dict[str, int],
+) -> PeriodSchedule:
+    """A flat schedule (used by calibration and the Figure 2 experiment)."""
+    return PeriodSchedule(
+        period_seconds,
+        {name: [count] * num_periods for name, count in counts.items()},
+    )
+
+
+ClientBuilder = Callable[[str, str], ClosedLoopClient]
+
+
+class ClientPoolManager:
+    """Drives client pools through a :class:`PeriodSchedule`.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (period boundaries become scheduled events).
+    schedule:
+        The intensity schedule to enforce.
+    client_builder:
+        ``(class_name, client_id) -> ClosedLoopClient``; called lazily the
+        first time a slot is needed.  Clients are reused across periods so
+        client ids — and hence snapshot-monitor connections — are stable.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        schedule: PeriodSchedule,
+        client_builder: ClientBuilder,
+    ) -> None:
+        self.sim = sim
+        self.schedule = schedule
+        self.client_builder = client_builder
+        self._pools: Dict[str, List[ClosedLoopClient]] = {
+            name: [] for name in schedule.counts
+        }
+        self._started = False
+
+    def pool(self, class_name: str) -> List[ClosedLoopClient]:
+        """All clients ever created for a class (active or not)."""
+        return list(self._pools[class_name])
+
+    def active_count(self, class_name: str) -> int:
+        """Clients of the class currently in the submit loop."""
+        return sum(1 for c in self._pools[class_name] if c.active)
+
+    def start(self) -> None:
+        """Install period-boundary events and apply period 1 immediately."""
+        if self._started:
+            raise WorkloadError("ClientPoolManager started twice")
+        self._started = True
+        for period in range(self.schedule.num_periods):
+            at = self.sim.now + period * self.schedule.period_seconds
+            self.sim.schedule_at(
+                at,
+                lambda p=period: self._apply_period(p),
+                label="schedule:period:{}".format(period + 1),
+                priority=-1,  # adjust intensity before same-instant work
+            )
+
+    def _apply_period(self, period: int) -> None:
+        for class_name, series in self.schedule.counts.items():
+            self._resize(class_name, series[period])
+
+    def _resize(self, class_name: str, target: int) -> None:
+        pool = self._pools[class_name]
+        while len(pool) < target:
+            client_id = "{}-c{}".format(class_name, len(pool))
+            pool.append(self.client_builder(class_name, client_id))
+        for index, client in enumerate(pool):
+            if index < target:
+                client.activate()
+            else:
+                client.deactivate()

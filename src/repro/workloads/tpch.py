@@ -1,0 +1,101 @@
+"""TPC-H-like OLAP workload.
+
+The paper's OLAP workload is TPC-H on a 500 MB database with the four most
+expensive queries (16, 19, 20 and 21 in our digit-reconstructed reading)
+*excluded* from the submitted workload.  We model all 22 templates —
+including the excluded monsters, which remain available for stress tests and
+for exercising the cost-group policy's "large" band — with demands whose
+relative magnitudes follow the well-known complexity ordering of the TPC-H
+suite, scaled so that queries run tens to a couple of hundred seconds on the
+simulated 2-CPU / 17-disk server (matching the minutes-scale queries of the
+paper's 8-minute periods after our 4x time scaling; DESIGN.md §4).
+
+Demands are I/O-leaning (the paper: "OLAP queries tend to be I/O intensive")
+but carry a substantial CPU component — joins, sorts and aggregations — which
+is the physical channel through which OLAP admission steals capacity from the
+CPU-bound OLTP class (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads.spec import QueryTemplate, WorkloadMix
+
+#: Queries excluded from the submitted workload ("Four very large queries
+#: (queries 16, 19, 20 and 21) are excluded from the TPC-H workload").
+TPCH_EXCLUDED: Tuple[str, ...] = ("q16", "q19", "q20", "q21")
+
+#: Default number of CPU<->IO interleavings per OLAP query.  More rounds
+#: couple OLAP CPU pressure to OLTP latency more smoothly but cost events.
+OLAP_ROUNDS = 4
+
+#: Intra-query degree of parallelism for DSS queries (DB2 intra-partition
+#: parallelism): each phase fans out into this many concurrent sub-jobs.
+OLAP_PARALLELISM = 2
+
+#: (name, cpu_demand_s, io_demand_s) for all 22 TPC-H templates, on the
+#: simulated server's demand scale.  The four excluded templates are an
+#: order of magnitude above the rest, which is exactly why the paper's
+#: authors dropped them.
+_TPCH_DEMANDS: Tuple[Tuple[str, float, float], ...] = (
+    ("q1", 4.5, 7.4),
+    ("q2", 0.9, 1.5),
+    ("q3", 3.5, 6.0),
+    ("q4", 1.7, 2.9),
+    ("q5", 4.0, 7.0),
+    ("q6", 2.0, 3.5),
+    ("q7", 3.8, 6.4),
+    ("q8", 4.2, 7.4),
+    ("q9", 7.0, 11.9),
+    ("q10", 3.2, 5.4),
+    ("q11", 1.0, 1.7),
+    ("q12", 2.0, 3.8),
+    ("q13", 2.5, 4.0),
+    ("q14", 1.5, 2.5),
+    ("q15", 2.0, 3.5),
+    ("q16", 14.9, 37.3),
+    ("q17", 2.2, 4.5),
+    ("q18", 6.0, 9.9),
+    ("q19", 22.3, 54.6),
+    ("q20", 18.6, 44.7),
+    ("q21", 24.8, 64.5),
+    ("q22", 1.3, 2.2),
+)
+
+
+def tpch_template(name: str, weight: float = 1.0) -> QueryTemplate:
+    """Build a single TPC-H template by query name (``"q1"``..``"q22"``)."""
+    for template_name, cpu, io in _TPCH_DEMANDS:
+        if template_name == name:
+            return QueryTemplate(
+                name=template_name,
+                kind="olap",
+                cpu_demand=cpu,
+                io_demand=io,
+                rounds=OLAP_ROUNDS,
+                weight=weight,
+                variability=0.25,
+                parallelism=OLAP_PARALLELISM,
+            )
+    raise KeyError("unknown TPC-H template {!r}".format(name))
+
+
+def tpch_mix(
+    include_excluded: bool = False,
+    name: str = "tpch",
+) -> WorkloadMix:
+    """The TPC-H workload mix.
+
+    Parameters
+    ----------
+    include_excluded:
+        When True the four monster queries are part of the mix (the paper's
+        experiments never include them; calibration/stress tests may).
+    """
+    templates = []
+    for template_name, _cpu, _io in _TPCH_DEMANDS:
+        if not include_excluded and template_name in TPCH_EXCLUDED:
+            continue
+        templates.append(tpch_template(template_name))
+    return WorkloadMix(name, templates)

@@ -1,0 +1,74 @@
+"""Shared fixtures: small, fast simulation configurations.
+
+Unit tests use hand-built micro-scenarios; integration tests use the
+``quick_config`` fixture (short periods, few clients) so the whole suite
+stays fast while still exercising the full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    MonitorConfig,
+    PlannerConfig,
+    SimulationConfig,
+    WorkloadScaleConfig,
+    default_config,
+)
+from repro.core.service_class import paper_classes
+from repro.dbms.engine import DatabaseEngine
+from repro.patroller.patroller import QueryPatroller
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.schedule import constant_schedule
+from repro.workloads.spec import QueryFactory
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RandomStreams:
+    return RandomStreams(seed=123)
+
+
+@pytest.fixture
+def quick_config() -> SimulationConfig:
+    """A scaled-down configuration for integration tests."""
+    return default_config(
+        scale=WorkloadScaleConfig(period_seconds=40.0, num_periods=3),
+        monitor=MonitorConfig(snapshot_interval=5.0, velocity_window=40.0,
+                              response_time_window=20.0),
+        planner=PlannerConfig(control_interval=20.0),
+    )
+
+
+@pytest.fixture
+def engine(sim, quick_config, rng) -> DatabaseEngine:
+    return DatabaseEngine(sim, quick_config, rng)
+
+
+@pytest.fixture
+def patroller(sim, engine, quick_config) -> QueryPatroller:
+    return QueryPatroller(sim, engine, quick_config.patroller)
+
+
+@pytest.fixture
+def factory(engine, rng) -> QueryFactory:
+    return QueryFactory(engine.estimator, rng)
+
+
+@pytest.fixture
+def three_classes():
+    return list(paper_classes())
+
+
+@pytest.fixture
+def tiny_schedule():
+    """Three 40-second periods with small client counts."""
+    return constant_schedule(
+        40.0, 3, {"class1": 2, "class2": 2, "class3": 8}
+    )

@@ -1,0 +1,98 @@
+"""Tests for the baseline controllers."""
+
+import pytest
+
+from repro.core.controllers import NoControlController, QPPriorityController
+from repro.core.service_class import paper_classes
+from repro.dbms.engine import DatabaseEngine
+from repro.errors import ConfigurationError
+from repro.config import PatrollerConfig, default_config
+from repro.patroller.patroller import QueryPatroller
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def make_stack():
+    sim = Simulator()
+    config = default_config(
+        patroller=PatrollerConfig(interception_latency=0.0, release_latency=0.0,
+                                  overhead_cpu_demand=0.0)
+    )
+    engine = DatabaseEngine(sim, config, RandomStreams(21))
+    patroller = QueryPatroller(sim, engine, config.patroller)
+    return sim, engine, patroller, list(paper_classes())
+
+
+class TestNoControl:
+    def test_start_installs_single_limit_policy(self):
+        sim, engine, patroller, classes = make_stack()
+        controller = NoControlController(patroller, engine, classes, 30_000.0)
+        controller.start()
+        assert controller.policy is not None
+        assert controller.policy.groups == []
+        assert controller.policy.priorities == {}
+        assert controller.policy.global_cost_limit == 30_000.0
+        assert patroller.intercepts("class1")
+        assert not patroller.intercepts("class3")
+
+    def test_invalid_limit(self):
+        sim, engine, patroller, classes = make_stack()
+        with pytest.raises(ConfigurationError):
+            NoControlController(patroller, engine, classes, 0.0)
+
+    def test_describe(self):
+        sim, engine, patroller, classes = make_stack()
+        controller = NoControlController(patroller, engine, classes, 30_000.0)
+        assert "30000" in controller.describe()
+
+
+class TestQPPriority:
+    def _controller(self, priority=True):
+        sim, engine, patroller, classes = make_stack()
+        controller = QPPriorityController(
+            patroller,
+            engine,
+            classes,
+            historical_costs=[100.0, 500.0, 1_000.0, 5_000.0, 10_000.0] * 10,
+            static_olap_limit=30_000.0,
+            priority_control=priority,
+        )
+        return sim, controller
+
+    def test_start_builds_three_groups(self):
+        sim, controller = self._controller()
+        controller.start()
+        names = [g.name for g in controller.policy.groups]
+        assert names == ["small", "medium", "large"]
+
+    def test_priorities_mirror_importance_for_olap_only(self):
+        sim, controller = self._controller(priority=True)
+        controller.start()
+        assert controller.policy.priorities == {"class1": 1, "class2": 2}
+
+    def test_priority_off_empty_map(self):
+        sim, controller = self._controller(priority=False)
+        controller.start()
+        assert controller.policy.priorities == {}
+
+    def test_requires_history(self):
+        sim, engine, patroller, classes = make_stack()
+        with pytest.raises(ConfigurationError):
+            QPPriorityController(
+                patroller, engine, classes,
+                historical_costs=[], static_olap_limit=30_000.0,
+            )
+
+    def test_requires_positive_limit(self):
+        sim, engine, patroller, classes = make_stack()
+        with pytest.raises(ConfigurationError):
+            QPPriorityController(
+                patroller, engine, classes,
+                historical_costs=[1.0], static_olap_limit=0.0,
+            )
+
+    def test_describe_reports_priority_state(self):
+        sim, controller = self._controller(priority=True)
+        assert "priorities on" in controller.describe()
+        sim, controller = self._controller(priority=False)
+        assert "priorities off" in controller.describe()

@@ -1,0 +1,193 @@
+"""Tests for direct in-engine control (the future-work extension)."""
+
+import pytest
+
+from repro.config import (
+    MonitorConfig,
+    PlannerConfig,
+    WorkloadScaleConfig,
+    default_config,
+)
+from repro.core.direct import DirectScheduler, EngineGate
+from repro.core.plan import SchedulingPlan
+from repro.core.service_class import (
+    ResponseTimeGoal,
+    ServiceClass,
+    VelocityGoal,
+    paper_classes,
+)
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.query import CPU, Phase, Query
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def make_engine():
+    sim = Simulator()
+    engine = DatabaseEngine(sim, default_config(), RandomStreams(41))
+    return sim, engine
+
+
+_qid = [20000]
+
+
+def make_query(class_name="class1", cost=1_000.0, demand=2.0, kind="olap"):
+    _qid[0] += 1
+    query = Query(
+        query_id=_qid[0],
+        class_name=class_name,
+        client_id="c{}".format(_qid[0]),
+        template="t",
+        kind=kind,
+        phases=(Phase(CPU, demand),),
+        true_cost=cost,
+        estimated_cost=cost,
+    )
+    query.submit_time = 0.0
+    return query
+
+
+def make_gate(limits=None):
+    sim, engine = make_engine()
+    plan = SchedulingPlan(
+        limits or {"class1": 2_000.0, "class2": 2_000.0, "class3": 2_000.0},
+        30_000.0,
+    )
+    gate = EngineGate(engine, list(paper_classes()), plan)
+    return sim, engine, gate
+
+
+class TestEngineGate:
+    def test_admits_within_limit(self):
+        sim, engine, gate = make_gate()
+        engine.execute(make_query(cost=1_500.0))
+        sim.run_until(0.1)
+        assert engine.executing_queries == 1
+        assert gate.in_flight_cost("class1") == pytest.approx(1_500.0)
+
+    def test_queues_past_limit_and_drains_on_completion(self):
+        sim, engine, gate = make_gate()
+        for _ in range(3):
+            engine.execute(make_query(cost=1_500.0, demand=1.0))
+        sim.run_until(0.1)
+        assert engine.executing_queries == 1
+        assert gate.queue_length("class1") == 2
+        sim.run_until(10.0)
+        assert gate.released_count("class1") == 3
+        assert gate.queue_length("class1") == 0
+
+    def test_gates_oltp_too(self):
+        """The whole point of in-engine control: OLTP is controllable."""
+        sim, engine, gate = make_gate(
+            {"class1": 2_000.0, "class2": 2_000.0, "class3": 50.0}
+        )
+        for _ in range(4):
+            engine.execute(make_query(class_name="class3", cost=40.0,
+                                      demand=0.02, kind="oltp"))
+        sim.run_until(0.001)
+        assert engine.executing_queries == 1
+        assert gate.queue_length("class3") == 3
+
+    def test_gating_adds_no_overhead(self):
+        """Admitted statements run at bare speed: zero added latency."""
+        sim, engine, gate = make_gate()
+        query = make_query(cost=100.0, demand=1.0)
+        engine.execute(query)
+        sim.run_until(5.0)
+        assert query.finish_time == pytest.approx(1.0)
+        assert query.velocity == pytest.approx(1.0)
+
+    def test_held_statement_velocity_reflects_gate_wait(self):
+        sim, engine, gate = make_gate()
+        blocker = make_query(cost=2_000.0, demand=1.0)
+        held = make_query(cost=2_000.0, demand=1.0)
+        engine.execute(blocker)
+        engine.execute(held)
+        sim.run_until(5.0)
+        # held waited ~1s (blocker's runtime) then ran ~1s.
+        assert held.velocity == pytest.approx(0.5, abs=0.1)
+
+    def test_unmanaged_class_passes_through(self):
+        sim, engine, gate = make_gate()
+        stray = make_query(class_name="ghost", cost=1e9)
+        engine.execute(stray)
+        sim.run_until(0.1)
+        assert engine.executing_queries == 1
+
+    def test_starvation_guard(self):
+        sim, engine, gate = make_gate()
+        monster = make_query(cost=1e6, demand=0.5)
+        engine.execute(monster)
+        sim.run_until(0.1)
+        assert engine.executing_queries == 1  # alone, despite the limit
+
+    def test_install_plan_drains_queues(self):
+        sim, engine, gate = make_gate()
+        for _ in range(3):
+            engine.execute(make_query(cost=1_500.0, demand=10.0))
+        sim.run_until(0.1)
+        assert gate.queue_length("class1") == 2
+        admitted = gate.install_plan(
+            SchedulingPlan({"class1": 10_000.0, "class2": 1_000.0, "class3": 1_000.0},
+                           30_000.0)
+        )
+        assert admitted == 2
+        assert engine.executing_queries == 3
+
+    def test_unknown_plan_class_rejected(self):
+        sim, engine, gate = make_gate()
+        with pytest.raises(SchedulingError):
+            gate.install_plan(SchedulingPlan({"ghost": 1.0}, 30_000.0))
+
+
+class TestDirectScheduler:
+    def _scheduler(self):
+        sim, engine = make_engine()
+        config = default_config(
+            planner=PlannerConfig(control_interval=10.0),
+            monitor=MonitorConfig(snapshot_interval=5.0),
+            scale=WorkloadScaleConfig(period_seconds=30.0, num_periods=2),
+        )
+        scheduler = DirectScheduler(sim, engine, list(paper_classes()), config)
+        return sim, engine, scheduler
+
+    def test_start_runs_intervals(self):
+        sim, engine, scheduler = self._scheduler()
+        scheduler.start()
+        sim.run_until(35.0)
+        assert scheduler.intervals_run == 3
+        assert len(scheduler.plans) == 3
+
+    def test_double_start_rejected(self):
+        sim, engine, scheduler = self._scheduler()
+        scheduler.start()
+        with pytest.raises(SchedulingError):
+            scheduler.start()
+
+    def test_measurement_from_completions(self):
+        sim, engine, scheduler = self._scheduler()
+        query = make_query(class_name="class3", cost=40.0, demand=0.2, kind="oltp")
+        engine.execute(query)
+        sim.run_until(1.0)
+        assert scheduler.measure("class3") == pytest.approx(0.2, abs=0.02)
+        assert scheduler.measure("class1") is None
+
+    def test_replan_moves_limits_toward_violator(self):
+        sim, engine, scheduler = self._scheduler()
+        # A slow OLTP completion signals a violated goal.
+        slow = make_query(class_name="class3", cost=40.0, demand=1.0, kind="oltp")
+        engine.execute(slow)
+        sim.run_until(2.0)
+        before = scheduler.plan.limit("class3")
+        scheduler.run_interval()
+        assert scheduler.plan.limit("class3") > before
+
+    def test_requires_classes(self):
+        sim, engine = make_engine()
+        with pytest.raises(SchedulingError):
+            DirectScheduler(sim, engine, [], default_config())
+
+    def test_describe(self):
+        sim, engine, scheduler = self._scheduler()
+        assert "in-engine" in scheduler.describe()

@@ -1,0 +1,173 @@
+"""Tests for the Monitor's measurement paths."""
+
+import pytest
+
+from repro.config import MonitorConfig, PatrollerConfig, default_config
+from repro.core.monitor import Monitor
+from repro.core.service_class import paper_classes
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.query import CPU, IO, Phase, Query
+from repro.errors import SchedulingError
+from repro.patroller.patroller import QueryPatroller
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def make_world(snapshot_interval=5.0, velocity_window=60.0, rt_window=30.0):
+    sim = Simulator()
+    config = default_config(
+        monitor=MonitorConfig(
+            snapshot_interval=snapshot_interval,
+            velocity_window=velocity_window,
+            response_time_window=rt_window,
+        ),
+        patroller=PatrollerConfig(
+            interception_latency=0.0, release_latency=0.0, overhead_cpu_demand=0.0
+        ),
+    )
+    engine = DatabaseEngine(sim, config, RandomStreams(11))
+    patroller = QueryPatroller(sim, engine, config.patroller)
+    classes = list(paper_classes())
+    monitor = Monitor(sim, engine, classes, config.monitor)
+    return sim, engine, patroller, monitor
+
+
+_qid = [0]
+
+
+def make_query(class_name="class1", kind="olap", demand=1.0):
+    _qid[0] += 1
+    return Query(
+        query_id=_qid[0],
+        class_name=class_name,
+        client_id="client-{}".format(_qid[0]),
+        template="t",
+        kind=kind,
+        phases=(Phase(CPU, demand / 2), Phase(IO, demand / 2)),
+        true_cost=100.0,
+        estimated_cost=100.0,
+    )
+
+
+def run_query_with_wait(sim, engine, monitor, wait, demand=10.0):
+    """Submit at now, hold for `wait`, execute; returns the query."""
+    query = make_query(demand=demand)
+    query.submit_time = sim.now
+    monitor._open[query.query_id] = query  # as on_intercepted would
+    sim.schedule(wait, lambda: (setattr(query, "release_time", sim.now),
+                                engine.execute(query)))
+    return query
+
+
+class TestVelocityMeasurement:
+    def test_completed_queries_define_velocity(self):
+        sim, engine, patroller, monitor = make_world()
+        query = run_query_with_wait(sim, engine, monitor, wait=10.0, demand=10.0)
+        sim.run()
+        measurement = monitor.measure("class1")
+        assert measurement is not None
+        assert measurement.metric == "velocity"
+        # 10s execution / 20s response.
+        assert measurement.value == pytest.approx(0.5, abs=0.05)
+
+    def test_no_data_returns_none(self):
+        sim, engine, patroller, monitor = make_world()
+        assert monitor.measure("class1") is None
+
+    def test_in_flight_blend_sees_queue_pressure(self):
+        sim, engine, patroller, monitor = make_world()
+        # A query stuck in queue for 30s with no execution at all.
+        query = make_query()
+        query.submit_time = 0.0
+        monitor._open[query.query_id] = query
+        sim.run_until(30.0)
+        measurement = monitor.measure("class1")
+        assert measurement is not None
+        assert measurement.value == pytest.approx(0.0, abs=0.01)
+
+    def test_young_in_flight_queries_excluded(self):
+        sim, engine, patroller, monitor = make_world()
+        query = make_query()
+        query.submit_time = 0.0
+        monitor._open[query.query_id] = query
+        sim.run_until(1.0)  # younger than MIN_IN_FLIGHT_AGE
+        assert monitor.measure("class1") is None
+
+    def test_old_completions_age_out_but_last_measurement_kept(self):
+        sim, engine, patroller, monitor = make_world(velocity_window=20.0)
+        run_query_with_wait(sim, engine, monitor, wait=5.0, demand=5.0)
+        sim.run()
+        first = monitor.measure("class1")
+        assert first is not None
+        sim.run_until(sim.now + 100.0)
+        # Window empty now; measure() returns the retained last measurement.
+        second = monitor.measure("class1")
+        assert second is not None
+        assert second.measured_at == first.measured_at
+
+
+class TestResponseTimeMeasurement:
+    def test_snapshot_sampling_averages_clients(self):
+        sim, engine, patroller, monitor = make_world(snapshot_interval=5.0)
+        monitor.start()
+        for demand in (0.2, 0.4):
+            query = make_query(class_name="class3", kind="oltp", demand=demand)
+            query.submit_time = 0.0
+            query.release_time = 0.0
+            engine.execute(query)
+        sim.run_until(20.0)
+        measurement = monitor.measure("class3")
+        assert measurement is not None
+        assert measurement.metric == "response_time"
+        assert measurement.value == pytest.approx(0.3, abs=0.05)
+        assert monitor.snapshots_taken == 4
+
+    def test_no_snapshots_before_start(self):
+        sim, engine, patroller, monitor = make_world()
+        query = make_query(class_name="class3", kind="oltp", demand=0.2)
+        query.submit_time = 0.0
+        engine.execute(query)
+        sim.run_until(20.0)
+        assert monitor.snapshots_taken == 0
+        assert monitor.measure("class3") is None
+
+    def test_double_start_rejected(self):
+        sim, engine, patroller, monitor = make_world()
+        monitor.start()
+        with pytest.raises(SchedulingError):
+            monitor.start()
+
+
+class TestWiring:
+    def test_on_intercepted_forwards(self):
+        sim, engine, patroller, monitor = make_world()
+        seen = []
+        monitor.set_forward(seen.append)
+        query = make_query()
+        monitor.on_intercepted(query)
+        assert seen == [query]
+        assert monitor.open_queries == 1
+
+    def test_on_intercepted_without_forward_raises(self):
+        sim, engine, patroller, monitor = make_world()
+        with pytest.raises(SchedulingError):
+            monitor.on_intercepted(make_query())
+
+    def test_unknown_class_rejected(self):
+        sim, engine, patroller, monitor = make_world()
+        with pytest.raises(SchedulingError):
+            monitor.measure("ghost")
+
+    def test_completion_clears_open_set(self):
+        sim, engine, patroller, monitor = make_world()
+        query = run_query_with_wait(sim, engine, monitor, wait=1.0, demand=1.0)
+        sim.run()
+        assert monitor.open_queries == 0
+
+    def test_measure_all_covers_measured_classes(self):
+        sim, engine, patroller, monitor = make_world()
+        run_query_with_wait(sim, engine, monitor, wait=2.0, demand=2.0)
+        sim.run()
+        results = monitor.measure_all()
+        assert "class1" in results
+        assert "class3" not in results  # nothing measured for it yet

@@ -1,0 +1,94 @@
+"""Tests for scheduling plans."""
+
+import pytest
+
+from repro.core.plan import SchedulingPlan
+from repro.errors import SchedulingError
+
+
+def test_limits_accessible():
+    plan = SchedulingPlan({"a": 10_000.0, "b": 20_000.0}, 30_000.0)
+    assert plan.limit("a") == 10_000.0
+    assert plan.limit("b") == 20_000.0
+    assert "a" in plan and "c" not in plan
+    assert len(plan) == 2
+    assert sorted(plan) == ["a", "b"]
+
+
+def test_sum_invariant_enforced():
+    """Section 2: the sum of class limits must not exceed the system limit."""
+    with pytest.raises(SchedulingError):
+        SchedulingPlan({"a": 20_000.0, "b": 20_000.0}, 30_000.0)
+
+
+def test_sum_tolerates_float_dust():
+    SchedulingPlan({"a": 10_000.0, "b": 20_000.0 + 1e-9}, 30_000.0)
+
+
+def test_under_allocation_allowed_and_tracked():
+    plan = SchedulingPlan({"a": 10_000.0}, 30_000.0)
+    assert plan.total_allocated == 10_000.0
+    assert plan.slack == 20_000.0
+
+
+def test_negative_limit_rejected():
+    with pytest.raises(SchedulingError):
+        SchedulingPlan({"a": -1.0}, 30_000.0)
+
+
+def test_empty_plan_rejected():
+    with pytest.raises(SchedulingError):
+        SchedulingPlan({}, 30_000.0)
+
+
+def test_nonpositive_system_limit_rejected():
+    with pytest.raises(SchedulingError):
+        SchedulingPlan({"a": 1.0}, 0.0)
+
+
+def test_unknown_class_lookup_raises():
+    plan = SchedulingPlan({"a": 1.0}, 10.0)
+    with pytest.raises(SchedulingError):
+        plan.limit("zzz")
+
+
+def test_replace_produces_new_valid_plan():
+    plan = SchedulingPlan({"a": 10_000.0, "b": 10_000.0}, 30_000.0)
+    updated = plan.replace(a=5_000.0)
+    assert updated.limit("a") == 5_000.0
+    assert updated.limit("b") == 10_000.0
+    assert plan.limit("a") == 10_000.0  # original untouched
+
+
+def test_replace_validates_sum():
+    plan = SchedulingPlan({"a": 10_000.0, "b": 10_000.0}, 30_000.0)
+    with pytest.raises(SchedulingError):
+        plan.replace(a=25_000.0)
+
+
+def test_replace_unknown_class_rejected():
+    plan = SchedulingPlan({"a": 1.0}, 10.0)
+    with pytest.raises(SchedulingError):
+        plan.replace(z=1.0)
+
+
+def test_even_split():
+    plan = SchedulingPlan.even_split(["a", "b", "c"], 30_000.0)
+    assert plan.limit("a") == pytest.approx(10_000.0)
+    assert plan.total_allocated == pytest.approx(30_000.0)
+
+
+def test_even_split_empty_rejected():
+    with pytest.raises(SchedulingError):
+        SchedulingPlan.even_split([], 30_000.0)
+
+
+def test_equality_and_as_dict():
+    a = SchedulingPlan({"x": 1.0}, 10.0)
+    b = SchedulingPlan({"x": 1.0}, 10.0)
+    c = SchedulingPlan({"x": 2.0}, 10.0)
+    assert a == b
+    assert a != c
+    d = a.as_dict()
+    d["x"] = 99.0
+    assert a.limit("x") == 1.0  # as_dict returns a copy

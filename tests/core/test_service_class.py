@@ -1,0 +1,112 @@
+"""Tests for service classes and performance goals."""
+
+import pytest
+
+from repro.core.service_class import (
+    ResponseTimeGoal,
+    ServiceClass,
+    VelocityGoal,
+    find_class,
+    paper_classes,
+)
+from repro.errors import ConfigurationError
+
+
+class TestVelocityGoal:
+    def test_achievement_is_one_at_goal(self):
+        goal = VelocityGoal(0.4)
+        assert goal.achievement(0.4) == pytest.approx(1.0)
+
+    def test_achievement_scales_linearly(self):
+        goal = VelocityGoal(0.5)
+        assert goal.achievement(0.25) == pytest.approx(0.5)
+        assert goal.achievement(1.0) == pytest.approx(2.0)
+
+    def test_satisfied(self):
+        goal = VelocityGoal(0.6)
+        assert goal.satisfied(0.6)
+        assert goal.satisfied(0.9)
+        assert not goal.satisfied(0.59)
+
+    def test_negative_velocity_clamped(self):
+        assert VelocityGoal(0.5).achievement(-1.0) == 0.0
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            VelocityGoal(0.0)
+        with pytest.raises(ConfigurationError):
+            VelocityGoal(1.5)
+        VelocityGoal(1.0)  # exactly 1 is legal
+
+
+class TestResponseTimeGoal:
+    def test_achievement_is_one_at_goal(self):
+        goal = ResponseTimeGoal(0.25)
+        assert goal.achievement(0.25) == pytest.approx(1.0)
+
+    def test_achievement_linear_in_response_time(self):
+        # r = 2 - t/goal: the deficit form (see class docstring).
+        goal = ResponseTimeGoal(0.25)
+        assert goal.achievement(0.125) == pytest.approx(1.5)
+        assert goal.achievement(0.375) == pytest.approx(0.5)
+        assert goal.achievement(0.5) == pytest.approx(0.0)
+        # Deliberately unclamped: deep violations keep their slope.
+        assert goal.achievement(0.75) == pytest.approx(-1.0)
+
+    def test_satisfied_iff_at_or_below_goal(self):
+        goal = ResponseTimeGoal(0.25)
+        assert goal.satisfied(0.25)
+        assert goal.satisfied(0.1)
+        assert not goal.satisfied(0.26)
+
+    def test_constant_urgency_per_second(self):
+        """Equal response-time deltas give equal achievement deltas."""
+        goal = ResponseTimeGoal(0.2)
+        deltas = [
+            goal.achievement(t) - goal.achievement(t + 0.05)
+            for t in (0.2, 0.25, 0.3)
+        ]
+        assert deltas[0] == pytest.approx(deltas[1]) == pytest.approx(deltas[2])
+
+    def test_positive_target_required(self):
+        with pytest.raises(ConfigurationError):
+            ResponseTimeGoal(0.0)
+
+
+class TestServiceClass:
+    def test_olap_class(self):
+        c = ServiceClass("c1", "olap", VelocityGoal(0.4), importance=1)
+        assert c.directly_controlled
+
+    def test_oltp_class(self):
+        c = ServiceClass("c3", "oltp", ResponseTimeGoal(0.25), importance=3)
+        assert not c.directly_controlled
+
+    def test_kind_goal_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceClass("bad", "olap", ResponseTimeGoal(0.25), importance=1)
+        with pytest.raises(ConfigurationError):
+            ServiceClass("bad", "oltp", VelocityGoal(0.4), importance=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceClass("bad", "batch", VelocityGoal(0.4), importance=1)
+
+    def test_nonpositive_importance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceClass("bad", "olap", VelocityGoal(0.4), importance=0)
+
+
+class TestPaperClasses:
+    def test_section4_setup(self):
+        c1, c2, c3 = paper_classes()
+        assert (c1.goal.target, c1.importance) == (0.40, 1)
+        assert (c2.goal.target, c2.importance) == (0.60, 2)
+        assert (c3.goal.target, c3.importance) == (0.25, 3)
+        assert c1.kind == c2.kind == "olap"
+        assert c3.kind == "oltp"
+
+    def test_find_class(self):
+        classes = paper_classes()
+        assert find_class(classes, "class2").importance == 2
+        assert find_class(classes, "nope") is None

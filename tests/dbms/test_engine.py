@@ -1,0 +1,162 @@
+"""Tests for the database engine's execution semantics."""
+
+import pytest
+
+from repro.config import default_config, AgentConfig
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.query import CPU, IO, Phase, Query
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def make_engine(sim=None, **config_overrides):
+    sim = sim or Simulator()
+    config = default_config(**config_overrides)
+    return sim, DatabaseEngine(sim, config, RandomStreams(seed=1))
+
+
+def make_query(query_id, phases, cost=100.0, parallelism=1, kind="olap"):
+    query = Query(
+        query_id=query_id,
+        class_name="class1",
+        client_id="client-{}".format(query_id),
+        template="t",
+        kind=kind,
+        phases=phases,
+        true_cost=cost,
+        estimated_cost=cost,
+    )
+    query.parallelism = parallelism
+    return query
+
+
+def test_single_query_executes_phases_sequentially():
+    sim, engine = make_engine()
+    query = make_query(1, (Phase(CPU, 2.0), Phase(IO, 3.0)))
+    query.submit_time = 0.0
+    engine.execute(query)
+    sim.run()
+    # 2 CPUs and 17 disks idle: phases at full speed, serial.
+    assert query.finish_time == pytest.approx(5.0)
+    assert query.execution_time == pytest.approx(5.0)
+    assert engine.completed_queries == 1
+
+
+def test_release_time_defaults_to_execute_instant():
+    sim, engine = make_engine()
+    query = make_query(1, (Phase(CPU, 1.0),))
+    query.submit_time = 0.0
+    sim.schedule(4.0, lambda: engine.execute(query))
+    sim.run()
+    assert query.release_time == pytest.approx(4.0)
+    assert query.execution_time == pytest.approx(1.0)
+    assert query.response_time == pytest.approx(5.0)
+
+
+def test_cpu_contention_stretches_execution():
+    sim, engine = make_engine()
+    # 4 CPU-only queries on 2 CPUs: each takes twice its demand.
+    queries = [make_query(i, (Phase(CPU, 2.0),)) for i in range(4)]
+    for q in queries:
+        q.submit_time = 0.0
+        engine.execute(q)
+    sim.run()
+    for q in queries:
+        assert q.finish_time == pytest.approx(4.0)
+
+
+def test_parallel_phase_uses_multiple_servers():
+    sim, engine = make_engine()
+    query = make_query(1, (Phase(CPU, 2.0),), parallelism=2)
+    query.submit_time = 0.0
+    engine.execute(query)
+    sim.run()
+    # 2 sub-jobs of demand 1.0 on 2 idle CPUs: wall clock halves.
+    assert query.finish_time == pytest.approx(1.0)
+
+
+def test_parallel_phase_barrier_before_next_phase():
+    sim, engine = make_engine()
+    query = make_query(1, (Phase(CPU, 2.0), Phase(IO, 1.0)), parallelism=2)
+    query.submit_time = 0.0
+    engine.execute(query)
+    sim.run()
+    # CPU fan-out finishes at 1.0; IO (2 sub-jobs of 0.5) adds 0.5.
+    assert query.finish_time == pytest.approx(1.5)
+
+
+def test_double_execute_rejected():
+    sim, engine = make_engine()
+    query = make_query(1, (Phase(CPU, 1.0),))
+    query.submit_time = 0.0
+    engine.execute(query)
+    sim.run()
+    with pytest.raises(SimulationError):
+        engine.execute(query)
+
+
+def test_completion_listener_and_per_query_callback_order():
+    sim, engine = make_engine()
+    calls = []
+    engine.add_completion_listener(lambda q: calls.append("listener"))
+    query = make_query(1, (Phase(CPU, 1.0),))
+    query.submit_time = 0.0
+    query.on_complete = lambda q: calls.append("query")
+    engine.execute(query)
+    sim.run()
+    assert calls == ["query", "listener"]
+
+
+def test_executing_cost_by_class():
+    sim, engine = make_engine()
+    q1 = make_query(1, (Phase(CPU, 5.0),), cost=100.0)
+    q2 = make_query(2, (Phase(CPU, 5.0),), cost=50.0)
+    q2.class_name = "other"
+    for q in (q1, q2):
+        q.submit_time = 0.0
+        engine.execute(q)
+    sim.run_until(1.0)
+    assert engine.executing_queries == 2
+    assert engine.executing_cost() == pytest.approx(150.0)
+    assert engine.executing_cost("class1") == pytest.approx(100.0)
+    sim.run()
+    assert engine.executing_cost() == 0.0
+
+
+def test_overload_admission_accounting():
+    sim, engine = make_engine()
+    query = make_query(1, (Phase(CPU, 1.0),), cost=40000.0)
+    query.submit_time = 0.0
+    engine.execute(query)
+    sim.run_until(0.5)
+    assert engine.overload.total_cost == pytest.approx(40000.0)
+    assert engine.cpu.efficiency < 1.0  # past the knee
+    sim.run()
+    assert engine.overload.total_cost == 0.0
+    assert engine.cpu.efficiency == 1.0
+
+
+def test_agent_pool_limits_concurrency():
+    sim, engine = make_engine(agents=AgentConfig(max_agents=1))
+    first = make_query(1, (Phase(CPU, 2.0),))
+    second = make_query(2, (Phase(CPU, 2.0),))
+    for q in (first, second):
+        q.submit_time = 0.0
+        engine.execute(q)
+    sim.run()
+    # Serialized by the single agent: 2s then 2s.
+    assert first.finish_time == pytest.approx(2.0)
+    assert second.finish_time == pytest.approx(4.0)
+
+
+def test_snapshot_monitor_sees_completions():
+    sim, engine = make_engine()
+    query = make_query(1, (Phase(CPU, 1.0),), kind="oltp")
+    query.class_name = "class3"
+    query.submit_time = 0.0
+    engine.execute(query)
+    sim.run()
+    samples = engine.snapshot_monitor.snapshot(class_name="class3")
+    assert len(samples) == 1
+    assert samples[0].response_time == pytest.approx(1.0)

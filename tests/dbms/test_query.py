@@ -1,0 +1,125 @@
+"""Tests for query objects, phases and timing metrics."""
+
+import pytest
+
+from repro.dbms.query import CPU, IO, Phase, Query, QueryState, make_phases
+from repro.errors import SimulationError
+
+
+def make_query(phases=None, **kwargs):
+    if phases is None:
+        phases = (Phase(CPU, 1.0), Phase(IO, 2.0))
+    defaults = dict(
+        query_id=1,
+        class_name="class1",
+        client_id="c0",
+        template="q1",
+        kind="olap",
+        phases=phases,
+        true_cost=100.0,
+        estimated_cost=110.0,
+    )
+    defaults.update(kwargs)
+    return Query(**defaults)
+
+
+class TestMakePhases:
+    def test_single_round(self):
+        phases = make_phases(1.0, 2.0, rounds=1)
+        assert phases == (Phase(CPU, 1.0), Phase(IO, 2.0))
+
+    def test_multiple_rounds_alternate_and_conserve_demand(self):
+        phases = make_phases(4.0, 8.0, rounds=4)
+        assert len(phases) == 8
+        assert [p.kind for p in phases] == [CPU, IO] * 4
+        assert sum(p.demand for p in phases if p.kind == CPU) == pytest.approx(4.0)
+        assert sum(p.demand for p in phases if p.kind == IO) == pytest.approx(8.0)
+
+    def test_zero_cpu_omits_cpu_phases(self):
+        phases = make_phases(0.0, 6.0, rounds=3)
+        assert all(p.kind == IO for p in phases)
+        assert len(phases) == 3
+
+    def test_zero_both_yields_single_empty_phase(self):
+        phases = make_phases(0.0, 0.0, rounds=2)
+        assert len(phases) == 1
+        assert phases[0].demand == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            make_phases(1.0, 1.0, rounds=0)
+        with pytest.raises(SimulationError):
+            make_phases(-1.0, 1.0, rounds=1)
+
+
+class TestQueryLifecycle:
+    def test_initial_state(self):
+        query = make_query()
+        assert query.state == QueryState.CREATED
+        assert query.phases_remaining == 2
+
+    def test_next_phase_consumes_in_order(self):
+        query = make_query()
+        first = query.next_phase()
+        second = query.next_phase()
+        assert first.kind == CPU
+        assert second.kind == IO
+        assert query.next_phase() is None
+
+    def test_demand_decomposition(self):
+        query = make_query()
+        assert query.cpu_demand == pytest.approx(1.0)
+        assert query.io_demand == pytest.approx(2.0)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(SimulationError):
+            make_query(phases=())
+
+
+class TestQueryMetrics:
+    def _completed_query(self, submit=0.0, release=10.0, finish=30.0):
+        query = make_query()
+        query.submit_time = submit
+        query.release_time = release
+        query.finish_time = finish
+        return query
+
+    def test_response_time(self):
+        assert self._completed_query().response_time == pytest.approx(30.0)
+
+    def test_execution_time_measured_from_release(self):
+        assert self._completed_query().execution_time == pytest.approx(20.0)
+
+    def test_velocity_definition(self):
+        # Section 3.1: velocity = execution / response.
+        query = self._completed_query(submit=0.0, release=10.0, finish=30.0)
+        assert query.velocity == pytest.approx(20.0 / 30.0)
+
+    def test_velocity_is_one_without_hold_time(self):
+        query = self._completed_query(submit=5.0, release=5.0, finish=25.0)
+        assert query.velocity == pytest.approx(1.0)
+
+    def test_velocity_capped_at_one(self):
+        # Degenerate rounding can make execution "exceed" response.
+        query = self._completed_query(submit=10.0, release=9.0, finish=30.0)
+        assert query.velocity == 1.0
+
+    def test_wait_time(self):
+        query = self._completed_query()
+        assert query.wait_time == pytest.approx(10.0)
+
+    def test_bypassed_query_uses_submit_as_release(self):
+        query = make_query()
+        query.submit_time = 2.0
+        query.release_time = None
+        query.finish_time = 7.0
+        assert query.execution_time == pytest.approx(5.0)
+        assert query.velocity == 1.0
+
+    def test_metrics_before_completion_raise(self):
+        query = make_query()
+        query.submit_time = 0.0
+        with pytest.raises(SimulationError):
+            _ = query.response_time
+        with pytest.raises(SimulationError):
+            _ = query.execution_time

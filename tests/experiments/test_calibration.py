@@ -1,0 +1,77 @@
+"""Tests for the calibration experiments (scaled down for speed)."""
+
+import pytest
+
+from repro.config import default_config
+from repro.experiments.calibration import (
+    fit_oltp_slope,
+    measure_oltp_response_time,
+    pick_knee_limit,
+    sweep_system_cost_limit,
+)
+
+
+@pytest.fixture(scope="module")
+def shared_config():
+    return default_config()
+
+
+def test_pick_knee_limit_finds_first_near_peak():
+    curve = [(10.0, 5.0), (20.0, 9.0), (30.0, 10.0), (40.0, 9.8), (50.0, 9.9)]
+    assert pick_knee_limit(curve, tolerance=0.15) == 20.0
+    assert pick_knee_limit(curve, tolerance=0.01) == 30.0
+
+
+def test_pick_knee_limit_empty_rejected():
+    with pytest.raises(ValueError):
+        pick_knee_limit([])
+
+
+def test_measure_oltp_response_time_scales_with_olap_limit(shared_config):
+    low = measure_oltp_response_time(
+        5_000.0, oltp_clients=15, olap_clients=6,
+        config=shared_config, period_seconds=40.0, num_periods=2, warmup_periods=1,
+    )
+    high = measure_oltp_response_time(
+        30_000.0, oltp_clients=15, olap_clients=6,
+        config=shared_config, period_seconds=40.0, num_periods=2, warmup_periods=1,
+    )
+    assert low is not None and high is not None
+    assert high > low
+
+
+def test_fit_oltp_slope_positive_against_olap_limit(shared_config):
+    """Figure 2: response time grows with the OLAP cost limit."""
+    slope, points = fit_oltp_slope(
+        [6_000.0, 18_000.0, 30_000.0],
+        oltp_clients=15,
+        olap_clients=6,
+        config=shared_config,
+        period_seconds=40.0,
+        num_periods=2,
+        warmup_periods=1,
+    )
+    assert slope > 0
+    assert len(points) == 3
+
+
+def test_fit_oltp_slope_needs_two_points(shared_config):
+    with pytest.raises(ValueError):
+        fit_oltp_slope(
+            [10_000.0], oltp_clients=4, olap_clients=2,
+            config=shared_config, period_seconds=20.0, num_periods=1,
+            warmup_periods=0,
+        )
+
+
+def test_sweep_system_cost_limit_returns_curve(shared_config):
+    curve = sweep_system_cost_limit(
+        [10_000.0, 40_000.0],
+        config=shared_config,
+        olap_clients=10,
+        period_seconds=40.0,
+        num_periods=2,
+        warmup_periods=1,
+    )
+    assert len(curve) == 2
+    assert all(throughput > 0 for _, throughput in curve)

@@ -1,0 +1,63 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.config import (
+    MonitorConfig,
+    PlannerConfig,
+    WorkloadScaleConfig,
+    default_config,
+)
+from repro.experiments.reportgen import (
+    generate_report,
+    quick_report_config,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    config = default_config(
+        scale=WorkloadScaleConfig(period_seconds=30.0, num_periods=2),
+        monitor=MonitorConfig(snapshot_interval=5.0, response_time_window=15.0),
+        planner=PlannerConfig(control_interval=15.0),
+    )
+    return generate_report(config=config)
+
+
+def test_report_contains_all_sections(tiny_report):
+    assert "# Generated experiment report" in tiny_report
+    assert "No class control (Figure 4)" in tiny_report
+    assert "DB2 QP priority control (Figure 5)" in tiny_report
+    assert "Query Scheduler (Figure 6)" in tiny_report
+    assert "Figure 7" in tiny_report
+
+
+def test_report_tables_have_period_rows(tiny_report):
+    # Two periods per section, four sections (3 figures + plans).
+    assert tiny_report.count("| 1 |") == 4
+    assert tiny_report.count("| 2 |") == 4
+    assert "attainment:" in tiny_report
+
+
+def test_report_mentions_misses_or_values(tiny_report):
+    # Values are rendered to 3 decimals in the figure tables.
+    import re
+    assert re.search(r"\| 0\.\d{3}", tiny_report)
+
+
+def test_write_report(tmp_path):
+    config = default_config(
+        scale=WorkloadScaleConfig(period_seconds=20.0, num_periods=1),
+        monitor=MonitorConfig(snapshot_interval=5.0, response_time_window=10.0),
+        planner=PlannerConfig(control_interval=10.0),
+    )
+    path = str(tmp_path / "report.md")
+    text = write_report(path, config=config)
+    with open(path) as handle:
+        assert handle.read() == text
+
+
+def test_quick_config_is_valid():
+    config = quick_report_config()
+    assert config.scale.num_periods == 9

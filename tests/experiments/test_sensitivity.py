@@ -1,0 +1,84 @@
+"""Tests for the generic configuration sensitivity sweep."""
+
+import pytest
+
+from repro.config import (
+    MonitorConfig,
+    PlannerConfig,
+    WorkloadScaleConfig,
+    default_config,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.sensitivity import (
+    format_sweep,
+    get_config_field,
+    set_config_field,
+    sweep,
+)
+from repro.workloads.schedule import constant_schedule
+
+
+def tiny_config():
+    return default_config(
+        scale=WorkloadScaleConfig(period_seconds=20.0, num_periods=2),
+        monitor=MonitorConfig(snapshot_interval=5.0, response_time_window=10.0),
+        planner=PlannerConfig(control_interval=10.0),
+    )
+
+
+class TestFieldAccess:
+    def test_set_top_level(self):
+        config = set_config_field(default_config(), "system_cost_limit", 42_000.0)
+        assert config.system_cost_limit == 42_000.0
+
+    def test_set_nested(self):
+        config = set_config_field(default_config(), "planner.control_interval", 37.0)
+        assert config.planner.control_interval == 37.0
+        # Original untouched (frozen dataclasses).
+        assert default_config().planner.control_interval != 37.0
+
+    def test_set_deep_nested_validates(self):
+        with pytest.raises(ConfigurationError):
+            set_config_field(default_config(), "overload.knee_cost", -5.0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_config_field(default_config(), "planner.warp_speed", 9)
+        with pytest.raises(ConfigurationError):
+            set_config_field(default_config(), "no_such_section.x", 1)
+        with pytest.raises(ConfigurationError):
+            set_config_field(default_config(), "planner..bad", 1)
+
+    def test_get_roundtrip(self):
+        config = default_config()
+        assert get_config_field(config, "resources.cpu_servers") == 2
+        assert get_config_field(config, "seed") == config.seed
+        with pytest.raises(ConfigurationError):
+            get_config_field(config, "resources.gpu_servers")
+
+
+class TestSweep:
+    def test_sweep_runs_per_value(self):
+        schedule = constant_schedule(20.0, 2, {"class1": 2, "class2": 2, "class3": 5})
+        results = sweep(
+            "optimizer.noise_sigma",
+            [0.0, 0.4],
+            controller="none",
+            config=tiny_config(),
+            schedule=schedule,
+        )
+        assert list(results) == [0.0, 0.4]
+        for attainment in results.values():
+            assert set(attainment) == {"class1", "class2", "class3"}
+
+    def test_sweep_requires_values(self):
+        with pytest.raises(ConfigurationError):
+            sweep("seed", [], config=tiny_config())
+
+    def test_format_sweep_table(self):
+        results = {10.0: {"a": 0.5, "b": 1.0}, 20.0: {"a": 0.75, "b": 0.25}}
+        text = format_sweep("some.path", results, ["a", "b"])
+        assert "some.path" in text
+        assert "50%" in text and "75%" in text
+        missing = format_sweep("p", {1: {"a": 0.5}}, ["a", "zz"])
+        assert "-" in missing

@@ -1,0 +1,165 @@
+"""Tests for the per-period metrics collector."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.plan import SchedulingPlan
+from repro.core.planner import PlanRecord
+from repro.core.service_class import paper_classes
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.query import CPU, Phase, Query
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.schedule import constant_schedule
+
+
+def make_collector(period=10.0, periods=3):
+    sim = Simulator()
+    engine = DatabaseEngine(sim, default_config(), RandomStreams(31))
+    classes = list(paper_classes())
+    schedule = constant_schedule(period, periods, {c.name: 1 for c in classes})
+    collector = MetricsCollector(engine, schedule, classes)
+    return sim, engine, classes, collector
+
+
+_qid = [5000]
+
+
+def completed_query(class_name, kind, submit, release, finish):
+    _qid[0] += 1
+    query = Query(
+        query_id=_qid[0],
+        class_name=class_name,
+        client_id="c",
+        template="t",
+        kind=kind,
+        phases=(Phase(CPU, 0.1),),
+        true_cost=10.0,
+        estimated_cost=10.0,
+    )
+    query.submit_time = submit
+    query.release_time = release
+    query.finish_time = finish
+    return query
+
+
+def test_completions_bucketed_by_finish_period():
+    sim, engine, classes, collector = make_collector(period=10.0, periods=3)
+    collector.on_completion(completed_query("class1", "olap", 0.0, 2.0, 4.0))
+    collector.on_completion(completed_query("class1", "olap", 0.0, 5.0, 15.0))
+    assert collector.cell(0, "class1").completions == 1
+    assert collector.cell(1, "class1").completions == 1
+    assert collector.cell(2, "class1") is None
+    assert collector.total_completions == 2
+
+
+def test_velocity_series():
+    sim, engine, classes, collector = make_collector()
+    # velocity = (4-2)/(4-0) = 0.5 in period 0
+    collector.on_completion(completed_query("class1", "olap", 0.0, 2.0, 4.0))
+    series = collector.metric_series("class1", "velocity")
+    assert series[0] == pytest.approx(0.5)
+    assert series[1] is None
+
+
+def test_response_time_series_and_throughput():
+    sim, engine, classes, collector = make_collector(period=10.0)
+    for finish in (1.0, 2.0, 3.0, 4.0):
+        collector.on_completion(
+            completed_query("class3", "oltp", finish - 0.5, finish - 0.5, finish)
+        )
+    series = collector.metric_series("class3", "response_time")
+    assert series[0] == pytest.approx(0.5)
+    throughput = collector.metric_series("class3", "throughput")
+    assert throughput[0] == pytest.approx(0.4)
+
+
+def test_performance_series_picks_goal_metric():
+    sim, engine, classes, collector = make_collector()
+    collector.on_completion(completed_query("class1", "olap", 0.0, 2.5, 5.0))
+    collector.on_completion(completed_query("class3", "oltp", 0.0, 0.0, 0.2))
+    class1 = next(c for c in classes if c.name == "class1")
+    class3 = next(c for c in classes if c.name == "class3")
+    assert collector.performance_series(class1)[0] == pytest.approx(0.5)
+    assert collector.performance_series(class3)[0] == pytest.approx(0.2)
+
+
+def test_goal_attainment_ignores_empty_periods():
+    sim, engine, classes, collector = make_collector(period=10.0, periods=3)
+    class3 = next(c for c in classes if c.name == "class3")
+    # Period 0 meets (0.2 <= 0.25), period 2 misses (0.4); period 1 empty.
+    collector.on_completion(completed_query("class3", "oltp", 0.0, 0.0, 0.2))
+    collector.on_completion(completed_query("class3", "oltp", 25.0, 25.0, 25.4))
+    assert collector.goal_attainment(class3) == pytest.approx(0.5)
+
+
+def test_goal_attainment_zero_when_no_data():
+    sim, engine, classes, collector = make_collector()
+    assert collector.goal_attainment(classes[0]) == 0.0
+
+
+def test_plan_series_and_period_means():
+    sim, engine, classes, collector = make_collector(period=10.0, periods=3)
+    for time, limit in ((1.0, 10_000.0), (6.0, 14_000.0), (11.0, 20_000.0)):
+        plan = SchedulingPlan(
+            {"class1": limit, "class2": 1_000.0, "class3": 1_000.0}, 30_000.0,
+            created_at=time,
+        )
+        collector.on_plan(PlanRecord(time=time, plan=plan, measurements={}))
+    series = collector.plan_series("class1")
+    assert [limit for _, limit in series] == [10_000.0, 14_000.0, 20_000.0]
+    means = collector.plan_period_means("class1")
+    assert means[0] == pytest.approx(12_000.0)
+    assert means[1] == pytest.approx(20_000.0)
+    assert means[2] is None
+
+
+def test_engine_completions_flow_in_automatically():
+    sim, engine, classes, collector = make_collector()
+    query = completed_query("class1", "olap", 0.0, 0.0, 0.0)
+    query.finish_time = None
+    query.state = query.state  # untouched; execute for real:
+    fresh = Query(
+        query_id=99999,
+        class_name="class1",
+        client_id="c",
+        template="t",
+        kind="olap",
+        phases=(Phase(CPU, 1.0),),
+        true_cost=10.0,
+        estimated_cost=10.0,
+    )
+    fresh.submit_time = 0.0
+    engine.execute(fresh)
+    sim.run()
+    assert collector.total_completions == 1
+
+
+class TestTailLatency:
+    def _collector_with_rts(self, rts):
+        sim, engine, classes, collector = make_collector(period=100.0, periods=1)
+        for rt in rts:
+            collector.on_completion(
+                completed_query("class3", "oltp", 0.0, 0.0, rt)
+            )
+        return collector
+
+    def test_p95_above_mean_for_skewed_latencies(self):
+        rts = [0.1] * 95 + [2.0] * 5
+        collector = self._collector_with_rts(rts)
+        mean = collector.metric_series("class3", "response_time")[0]
+        p95 = collector.metric_series("class3", "response_p95")[0]
+        p99 = collector.metric_series("class3", "response_p99")[0]
+        assert mean == pytest.approx(0.195, abs=0.01)
+        assert p95 > mean
+        assert p99 >= p95
+
+    def test_percentiles_none_for_empty_period(self):
+        collector = self._collector_with_rts([])
+        assert collector.metric_series("class3", "response_p95") == [None]
+
+    def test_cell_percentile_direct(self):
+        collector = self._collector_with_rts([1.0] * 10)
+        cell = collector.cell(0, "class3")
+        assert cell.response_percentile(50.0) == pytest.approx(1.0, abs=0.5)

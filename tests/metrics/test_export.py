@@ -1,0 +1,77 @@
+"""Tests for result export (JSON / CSV)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.config import (
+    MonitorConfig,
+    PlannerConfig,
+    WorkloadScaleConfig,
+    default_config,
+)
+from repro.experiments.runner import run_experiment
+from repro.metrics.export import (
+    load_result_dict,
+    result_to_csv,
+    result_to_dict,
+    result_to_json,
+    save_result,
+)
+from repro.workloads.schedule import constant_schedule
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    config = default_config(
+        scale=WorkloadScaleConfig(period_seconds=20.0, num_periods=2),
+        monitor=MonitorConfig(snapshot_interval=5.0, response_time_window=10.0),
+        planner=PlannerConfig(control_interval=10.0),
+    )
+    schedule = constant_schedule(20.0, 2, {"class1": 2, "class2": 2, "class3": 5})
+    return run_experiment(controller="qs", config=config, schedule=schedule)
+
+
+def test_dict_structure(small_result):
+    data = result_to_dict(small_result)
+    assert data["controller"] == "qs"
+    assert data["num_periods"] == 2
+    assert data["total_completions"] > 0
+    names = [c["name"] for c in data["classes"]]
+    assert names == ["class1", "class2", "class3"]
+    class3 = data["classes"][2]
+    assert class3["metric"] == "response_time"
+    assert class3["goal"] == 0.25
+    assert len(class3["per_period"]) == 2
+    assert set(data["plan_period_means"]) == {"class1", "class2", "class3"}
+
+
+def test_json_roundtrips(small_result):
+    text = result_to_json(small_result)
+    parsed = json.loads(text)
+    assert parsed == result_to_dict(small_result)
+
+
+def test_csv_rows(small_result):
+    text = result_to_csv(small_result)
+    rows = list(csv.reader(io.StringIO(text)))
+    header, body = rows[0], rows[1:]
+    assert header[0] == "period"
+    assert len(body) == 2 * 3  # periods x classes
+    class_column = {row[1] for row in body}
+    assert class_column == {"class1", "class2", "class3"}
+    # meets_goal column is True/False/empty text.
+    assert all(row[5] in ("True", "False", "") for row in body)
+
+
+def test_save_and_load(tmp_path, small_result):
+    json_path = str(tmp_path / "result.json")
+    save_result(small_result, json_path)
+    data = load_result_dict(json_path)
+    assert data["controller"] == "qs"
+    csv_path = str(tmp_path / "result.csv")
+    save_result(small_result, csv_path)
+    with open(csv_path) as handle:
+        assert handle.readline().startswith("period,")

@@ -1,0 +1,90 @@
+"""Tests for the QP control tables."""
+
+import pytest
+
+from repro.errors import PatrollerError
+from repro.patroller.tables import ControlTables
+
+
+def intercept(tables, query_id, cost=100.0, class_name="class1"):
+    return tables.record_interception(
+        query_id=query_id,
+        class_name=class_name,
+        client_id="c0",
+        template="q1",
+        kind="olap",
+        estimated_cost=cost,
+        submit_time=0.0,
+        intercept_time=0.2,
+    )
+
+
+def test_interception_creates_queued_record():
+    tables = ControlTables()
+    record = intercept(tables, 1)
+    assert record.status == "queued"
+    assert record.seq == 0
+    assert len(tables) == 1
+    assert tables.get(1) is record
+
+
+def test_duplicate_interception_rejected():
+    tables = ControlTables()
+    intercept(tables, 1)
+    with pytest.raises(PatrollerError):
+        intercept(tables, 1)
+
+
+def test_status_transitions():
+    tables = ControlTables()
+    intercept(tables, 1)
+    tables.mark_released(1, 5.0)
+    record = tables.get(1)
+    assert record.status == "released"
+    assert record.release_time == 5.0
+    tables.mark_completed(1, 9.0)
+    assert record.status == "completed"
+    assert record.finish_time == 9.0
+
+
+def test_illegal_transitions_rejected():
+    tables = ControlTables()
+    intercept(tables, 1)
+    with pytest.raises(PatrollerError):
+        tables.mark_completed(1, 1.0)  # not yet released
+    tables.mark_released(1, 1.0)
+    with pytest.raises(PatrollerError):
+        tables.mark_released(1, 2.0)  # released twice
+
+
+def test_unknown_query_rejected():
+    tables = ControlTables()
+    with pytest.raises(PatrollerError):
+        tables.get(99)
+    with pytest.raises(PatrollerError):
+        tables.mark_released(99, 0.0)
+
+
+def test_fetch_since_cursor():
+    tables = ControlTables()
+    for query_id in (1, 2, 3):
+        intercept(tables, query_id)
+    assert [r.query_id for r in tables.fetch_since(0)] == [1, 2, 3]
+    assert [r.query_id for r in tables.fetch_since(2)] == [3]
+    assert tables.fetch_since(3) == []
+    assert [r.query_id for r in tables.fetch_since(-5)] == [1, 2, 3]
+
+
+def test_queued_listing_and_status_counts():
+    tables = ControlTables()
+    for query_id in (1, 2, 3):
+        intercept(tables, query_id)
+    tables.mark_released(2, 1.0)
+    tables.mark_completed(2, 2.0)
+    tables.mark_released(3, 1.5)
+    assert [r.query_id for r in tables.queued()] == [1]
+    assert tables.counts_by_status() == {
+        "queued": 1,
+        "completed": 1,
+        "released": 1,
+    }

@@ -1,0 +1,133 @@
+"""Tests for the coroutine-style process helper."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay, Process, WaitFor
+from repro.sim.resources import ProcessorSharingResource, PSJob
+
+
+def test_delays_advance_simulated_time():
+    sim = Simulator()
+    trace = []
+
+    def body():
+        trace.append(sim.now)
+        yield Delay(2.0)
+        trace.append(sim.now)
+        yield 3.0  # float shorthand
+        trace.append(sim.now)
+
+    process = Process(sim, body()).start()
+    sim.run()
+    assert trace == [0.0, 2.0, 5.0]
+    assert process.done
+
+
+def test_return_value_captured():
+    sim = Simulator()
+
+    def body():
+        yield 1.0
+        return "finished"
+
+    process = Process(sim, body()).start()
+    sim.run()
+    assert process.result == "finished"
+
+
+def test_wait_for_adapts_resource_completion():
+    sim = Simulator()
+    pool = ProcessorSharingResource(sim, "p", 1)
+    spans = []
+
+    def body():
+        start = sim.now
+        yield WaitFor(
+            lambda done: pool.submit(PSJob("work", 4.0, on_complete=done))
+        )
+        spans.append(sim.now - start)
+
+    Process(sim, body()).start()
+    sim.run()
+    assert spans == [pytest.approx(4.0)]
+
+
+def test_wait_for_passes_value_through():
+    sim = Simulator()
+    received = []
+
+    def body():
+        value = yield WaitFor(lambda done: sim.schedule(1.0, lambda: done(42)))
+        received.append(value)
+
+    Process(sim, body()).start()
+    sim.run()
+    assert received == [42]
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    order = []
+
+    def worker(tag, delay):
+        for _ in range(3):
+            yield delay
+            order.append((tag, sim.now))
+
+    Process(sim, worker("a", 1.0)).start()
+    Process(sim, worker("b", 1.5)).start()
+    sim.run()
+    # At t=3.0 both fire; b scheduled its wake-up first (at t=1.5) so it
+    # wins the deterministic (time, seq) tie-break.
+    assert order == [
+        ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0), ("b", 4.5),
+    ]
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+
+    def body():
+        yield 1.0
+
+    process = Process(sim, body()).start()
+    with pytest.raises(SimulationError):
+        process.start()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+
+    def body():
+        yield -1.0
+
+    Process(sim, body()).start()
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_unsupported_yield_rejected():
+    sim = Simulator()
+
+    def body():
+        yield "what"
+
+    Process(sim, body()).start()
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_double_resume_rejected():
+    sim = Simulator()
+    resumes = []
+
+    def body():
+        yield WaitFor(lambda done: resumes.append(done))
+
+    Process(sim, body()).start()
+    sim.run()
+    resumes[0]("first")
+    with pytest.raises(SimulationError):
+        resumes[0]("second")

@@ -1,0 +1,156 @@
+"""Tests for the online statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.stats import (
+    Histogram,
+    SlidingWindow,
+    TimeWeightedValue,
+    WelfordAccumulator,
+)
+
+
+class TestWelford:
+    def test_empty(self):
+        acc = WelfordAccumulator()
+        assert acc.count == 0
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+
+    def test_matches_numpy(self):
+        values = [3.1, -2.0, 7.5, 0.0, 4.4, 4.4, 9.9]
+        acc = WelfordAccumulator()
+        for v in values:
+            acc.add(v)
+        assert acc.mean == pytest.approx(np.mean(values))
+        assert acc.variance == pytest.approx(np.var(values, ddof=1))
+        assert acc.stddev == pytest.approx(np.std(values, ddof=1))
+        assert acc.minimum == min(values)
+        assert acc.maximum == max(values)
+        assert acc.total == pytest.approx(sum(values))
+
+    def test_single_value_variance_zero(self):
+        acc = WelfordAccumulator()
+        acc.add(5.0)
+        assert acc.variance == 0.0
+
+    def test_merge_equals_combined(self):
+        left = [1.0, 2.0, 3.0]
+        right = [10.0, 20.0]
+        a = WelfordAccumulator()
+        b = WelfordAccumulator()
+        for v in left:
+            a.add(v)
+        for v in right:
+            b.add(v)
+        a.merge(b)
+        combined = left + right
+        assert a.count == 5
+        assert a.mean == pytest.approx(np.mean(combined))
+        assert a.variance == pytest.approx(np.var(combined, ddof=1))
+
+    def test_merge_with_empty(self):
+        a = WelfordAccumulator()
+        a.add(1.0)
+        a.merge(WelfordAccumulator())
+        assert a.count == 1
+        b = WelfordAccumulator()
+        b.merge(a)
+        assert b.count == 1
+        assert b.mean == 1.0
+
+
+class TestSlidingWindow:
+    def test_capacity_eviction(self):
+        window = SlidingWindow(capacity=3)
+        for i in range(5):
+            window.add(float(i), float(i))
+        assert len(window) == 3
+        assert window.values() == [2.0, 3.0, 4.0]
+        assert window.mean == pytest.approx(3.0)
+
+    def test_time_eviction(self):
+        window = SlidingWindow(capacity=10)
+        for t in range(5):
+            window.add(float(t), float(t))
+        window.evict_older_than(2.0)
+        assert window.values() == [2.0, 3.0, 4.0]
+
+    def test_empty_mean_zero(self):
+        assert SlidingWindow(3).mean == 0.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+class TestTimeWeightedValue:
+    def test_piecewise_constant_average(self):
+        signal = TimeWeightedValue(initial=0.0, start_time=0.0)
+        signal.update(2.0, 10.0)  # 0 for [0,2), 10 afterwards
+        assert signal.average(4.0) == pytest.approx((0 * 2 + 10 * 2) / 4)
+
+    def test_current(self):
+        signal = TimeWeightedValue()
+        signal.update(1.0, 7.0)
+        assert signal.current == 7.0
+
+    def test_monotone_time_enforced(self):
+        signal = TimeWeightedValue()
+        signal.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            signal.update(4.0, 2.0)
+
+    def test_reset(self):
+        signal = TimeWeightedValue()
+        signal.update(2.0, 4.0)
+        signal.reset(2.0)
+        assert signal.average(4.0) == pytest.approx(4.0)
+
+
+class TestHistogram:
+    def test_counts_and_percentiles(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        for v in np.linspace(0.05, 9.95, 200):
+            hist.add(float(v))
+        assert hist.count == 200
+        assert hist.underflow == 0 and hist.overflow == 0
+        assert hist.percentile(50) == pytest.approx(5.0, abs=0.5)
+        assert hist.percentile(90) == pytest.approx(9.0, abs=0.6)
+
+    def test_overflow_underflow(self):
+        hist = Histogram(0.0, 1.0, bins=4)
+        hist.add(-5.0)
+        hist.add(2.0)
+        hist.add(0.5)
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert sum(hist.counts()) == 1
+
+    def test_empty_percentile_zero(self):
+        assert Histogram(0.0, 1.0).percentile(50) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=0)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0).percentile(101)
+
+    def test_upper_edge_value_lands_in_overflow(self):
+        hist = Histogram(0.0, 1.0, bins=4)
+        hist.add(1.0)
+        assert hist.overflow == 1
+
+
+def test_welford_is_finite_under_many_identical_values():
+    acc = WelfordAccumulator()
+    for _ in range(10000):
+        acc.add(1e9)
+    assert acc.mean == pytest.approx(1e9)
+    assert math.isfinite(acc.variance)
+    assert acc.variance == pytest.approx(0.0, abs=1e-3)

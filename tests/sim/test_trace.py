@@ -1,0 +1,56 @@
+"""Tests for the bounded tracer."""
+
+from repro.sim.trace import Tracer
+
+
+def test_records_in_order():
+    tracer = Tracer()
+    tracer.record(1.0, "a", "one")
+    tracer.record(2.0, "b", "two")
+    records = list(tracer)
+    assert [r.kind for r in records] == ["a", "b"]
+    assert [r.time for r in records] == [1.0, 2.0]
+
+
+def test_capacity_evicts_oldest():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.record(float(i), "k", str(i))
+    assert len(tracer) == 3
+    assert [r.detail for r in tracer] == ["2", "3", "4"]
+    assert tracer.dropped == 2
+
+
+def test_filter_by_kind():
+    tracer = Tracer()
+    tracer.record(0.0, "x")
+    tracer.record(1.0, "y")
+    tracer.record(2.0, "x")
+    assert len(tracer.filter("x")) == 2
+    assert len(tracer.filter("z")) == 0
+
+
+def test_clear_keeps_dropped_count():
+    tracer = Tracer(capacity=1)
+    tracer.record(0.0, "a")
+    tracer.record(1.0, "a")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 1
+
+
+def test_format_limits_output():
+    tracer = Tracer()
+    for i in range(100):
+        tracer.record(float(i), "k", "detail-{}".format(i))
+    text = tracer.format(limit=5)
+    assert text.count("\n") == 4
+    assert "detail-99" in text
+
+
+def test_unbounded_capacity():
+    tracer = Tracer(capacity=None)
+    for i in range(1000):
+        tracer.record(float(i), "k")
+    assert len(tracer) == 1000
+    assert tracer.dropped == 0

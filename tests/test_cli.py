@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_RUN = ["--periods", "2", "--period-seconds", "20",
+            "--control-interval", "10"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command_prints_tables(capsys):
+    code = main(["run", "--controller", "none"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Per-period goal metrics" in out
+    assert "Attainment" in out
+    assert "class3" in out
+
+
+def test_run_qs_prints_plan_table(capsys):
+    code = main(["run", "--controller", "qs"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Class cost limits" in out
+    assert "Query Scheduler" in out
+
+
+def test_run_rejects_unknown_controller():
+    with pytest.raises(SystemExit):
+        main(["run", "--controller", "chaos"])
+
+
+def test_calibrate_command(capsys):
+    code = main([
+        "calibrate", "--limits", "10000", "30000",
+        "--clients", "8", "--period-seconds", "30",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "queries/sec" in out
+    assert "suggested system cost limit" in out
+
+
+def test_figure3_command(capsys):
+    code = main(["figure", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Figure 3" in out
+    assert out.count("\n") >= 20  # 18 period rows plus header
+
+
+def test_figure4_command(capsys):
+    code = main(["figure", "4"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "controller=none" in out
+
+
+def test_figure_unknown_number(capsys):
+    code = main(["figure", "12"] + FAST_RUN)
+    assert code == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_seed_changes_results(capsys):
+    main(["run", "--controller", "none", "--seed", "1"] + FAST_RUN)
+    first = capsys.readouterr().out
+    main(["run", "--controller", "none", "--seed", "1"] + FAST_RUN)
+    second = capsys.readouterr().out
+    assert first == second  # deterministic
+    main(["run", "--controller", "none", "--seed", "2"] + FAST_RUN)
+    third = capsys.readouterr().out
+    assert third != first
+
+
+def test_run_output_json(tmp_path, capsys):
+    path = str(tmp_path / "out.json")
+    code = main(["run", "--controller", "none", "--output", path] + FAST_RUN)
+    assert code == 0
+    import json
+    with open(path) as handle:
+        data = json.load(handle)
+    assert data["controller"] == "none"
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_run_output_csv(tmp_path, capsys):
+    path = str(tmp_path / "out.csv")
+    code = main(["run", "--controller", "none", "--output", path] + FAST_RUN)
+    assert code == 0
+    with open(path) as handle:
+        assert handle.readline().startswith("period,")
+
+
+def test_report_command(tmp_path, capsys, monkeypatch):
+    """`repro report` writes a Markdown comparison (patched to a tiny
+    config so the test stays fast)."""
+    from repro.config import (
+        MonitorConfig,
+        PlannerConfig,
+        WorkloadScaleConfig,
+        default_config,
+    )
+    import repro.cli as cli_module
+    import repro.experiments.reportgen as reportgen
+
+    tiny = default_config(
+        scale=WorkloadScaleConfig(period_seconds=20.0, num_periods=1),
+        monitor=MonitorConfig(snapshot_interval=5.0, response_time_window=10.0),
+        planner=PlannerConfig(control_interval=10.0),
+    )
+    monkeypatch.setattr(reportgen, "quick_report_config", lambda: tiny)
+    path = str(tmp_path / "report.md")
+    code = main(["report", "--output", path])
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    with open(path) as handle:
+        text = handle.read()
+    assert "Generated experiment report" in text

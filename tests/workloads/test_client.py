@@ -1,0 +1,110 @@
+"""Tests for closed-loop clients."""
+
+import pytest
+
+from repro.config import PatrollerConfig, default_config
+from repro.dbms.engine import DatabaseEngine
+from repro.patroller.patroller import QueryPatroller
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.client import ClosedLoopClient
+from repro.workloads.spec import QueryFactory, QueryTemplate, WorkloadMix
+
+
+def make_world(think_time=0.0):
+    sim = Simulator()
+    config = default_config(
+        patroller=PatrollerConfig(
+            interception_latency=0.0, release_latency=0.0, overhead_cpu_demand=0.0
+        )
+    )
+    engine = DatabaseEngine(sim, config, RandomStreams(4))
+    patroller = QueryPatroller(sim, engine, config.patroller)
+    factory = QueryFactory(engine.estimator, RandomStreams(4))
+    mix = WorkloadMix(
+        "simple",
+        [QueryTemplate("one", "oltp", cpu_demand=0.5, io_demand=0.5, variability=0.0)],
+    )
+    client = ClosedLoopClient(
+        sim, patroller, factory, mix, "class3", "c0", think_time=think_time
+    )
+    return sim, engine, client
+
+
+def test_inactive_client_submits_nothing():
+    sim, engine, client = make_world()
+    sim.run_until(10.0)
+    assert client.queries_submitted == 0
+
+
+def test_closed_loop_one_in_flight():
+    sim, engine, client = make_world()
+    client.activate()
+    sim.run_until(10.0)
+    # Each query takes 1.0s (0.5 cpu + 0.5 io), zero think time.
+    assert client.queries_completed == 10
+    assert client.queries_submitted == client.queries_completed + (1 if client.busy else 0)
+    assert engine.executing_queries <= 1
+
+
+def test_zero_think_time_back_to_back():
+    sim, engine, client = make_world(think_time=0.0)
+    client.activate()
+    sim.run_until(5.0)
+    assert client.queries_completed == 5
+
+
+def test_think_time_spaces_submissions():
+    sim, engine, client = make_world(think_time=1.0)
+    client.activate()
+    sim.run_until(10.0)
+    # Cycle = 1.0 execution + 1.0 think = 2.0s.
+    assert client.queries_completed == 5
+
+
+def test_deactivate_finishes_current_query_then_stops():
+    sim, engine, client = make_world()
+    client.activate()
+    sim.run_until(0.5)
+    client.deactivate()
+    sim.run_until(10.0)
+    assert client.queries_completed == 1
+    assert not client.busy
+
+
+def test_reactivate_resumes():
+    sim, engine, client = make_world()
+    client.activate()
+    sim.run_until(2.0)
+    client.deactivate()
+    sim.run_until(5.0)
+    completed_while_paused = client.queries_completed
+    client.activate()
+    sim.run_until(8.0)
+    assert client.queries_completed > completed_while_paused
+
+
+def test_double_activate_does_not_double_submit():
+    sim, engine, client = make_world()
+    client.activate()
+    client.activate()
+    sim.run_until(3.0)
+    assert client.queries_completed == 3
+
+
+def test_completion_hook_fires():
+    sim, engine, client = make_world()
+    seen = []
+    client.on_query_complete = lambda q: seen.append(q.query_id)
+    client.activate()
+    sim.run_until(3.0)
+    assert len(seen) == 3
+
+
+def test_client_tags_queries_with_its_class():
+    sim, engine, client = make_world()
+    seen = []
+    client.on_query_complete = lambda q: seen.append((q.class_name, q.client_id))
+    client.activate()
+    sim.run_until(2.0)
+    assert all(entry == ("class3", "c0") for entry in seen)

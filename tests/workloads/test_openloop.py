@@ -1,0 +1,103 @@
+"""Tests for the open-loop Poisson workload source."""
+
+import pytest
+
+from repro.config import PatrollerConfig, default_config
+from repro.dbms.engine import DatabaseEngine
+from repro.errors import WorkloadError
+from repro.patroller.patroller import QueryPatroller
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.openloop import OpenLoopSource
+from repro.workloads.spec import QueryFactory, QueryTemplate, WorkloadMix
+
+
+def make_source(rate=5.0):
+    sim = Simulator()
+    config = default_config(
+        patroller=PatrollerConfig(interception_latency=0.0, release_latency=0.0,
+                                  overhead_cpu_demand=0.0)
+    )
+    engine = DatabaseEngine(sim, config, RandomStreams(61))
+    patroller = QueryPatroller(sim, engine, config.patroller)
+    factory = QueryFactory(engine.estimator, RandomStreams(61))
+    mix = WorkloadMix(
+        "m", [QueryTemplate("t", "oltp", cpu_demand=0.001, io_demand=0.001,
+                            variability=0.0)]
+    )
+    source = OpenLoopSource(sim, patroller, factory, mix, "class3",
+                            RandomStreams(62), rate=rate)
+    return sim, engine, source
+
+
+def test_poisson_rate_approximately_honoured():
+    sim, engine, source = make_source(rate=10.0)
+    source.start()
+    sim.run_until(100.0)
+    # ~1000 arrivals expected; allow generous tolerance.
+    assert 850 <= source.queries_submitted <= 1150
+
+
+def test_zero_rate_produces_nothing():
+    sim, engine, source = make_source(rate=0.0)
+    source.start()
+    sim.run_until(20.0)
+    assert source.queries_submitted == 0
+
+
+def test_rate_change_takes_effect():
+    sim, engine, source = make_source(rate=2.0)
+    source.start()
+    sim.run_until(50.0)
+    before = source.queries_submitted
+    source.set_rate(20.0)
+    sim.run_until(100.0)
+    later = source.queries_submitted - before
+    assert later > before * 3
+
+
+def test_resume_from_pause():
+    sim, engine, source = make_source(rate=5.0)
+    source.start()
+    sim.run_until(10.0)
+    source.set_rate(0.0)
+    sim.run_until(30.0)
+    paused_count = source.queries_submitted
+    source.set_rate(5.0)
+    sim.run_until(50.0)
+    assert source.queries_submitted > paused_count
+
+
+def test_stop_halts_arrivals():
+    sim, engine, source = make_source(rate=10.0)
+    source.start()
+    sim.run_until(10.0)
+    source.stop()
+    count = source.queries_submitted
+    sim.run_until(30.0)
+    assert source.queries_submitted <= count + 1  # at most one in-flight event
+
+
+def test_open_loop_does_not_slow_with_server():
+    """Open-loop semantics: arrivals keep coming while the server drowns."""
+    sim, engine, source = make_source(rate=50.0)
+    source.start()
+    sim.run_until(30.0)
+    assert source.queries_submitted > 1200
+    # The engine cannot possibly have kept up... but arrivals continued.
+    assert engine.agents.waiting >= 0
+
+
+def test_invalid_rates():
+    with pytest.raises(WorkloadError):
+        make_source(rate=-1.0)
+    sim, engine, source = make_source(rate=1.0)
+    with pytest.raises(WorkloadError):
+        source.set_rate(-2.0)
+
+
+def test_double_start_rejected():
+    sim, engine, source = make_source()
+    source.start()
+    with pytest.raises(WorkloadError):
+        source.start()

@@ -1,0 +1,162 @@
+"""Tests for the period schedule and client pool manager."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.workloads.schedule import (
+    ClientPoolManager,
+    PeriodSchedule,
+    constant_schedule,
+    paper_schedule,
+)
+
+
+class FakeClient:
+    """Minimal stand-in implementing the activate/deactivate protocol."""
+
+    def __init__(self, class_name, client_id):
+        self.class_name = class_name
+        self.client_id = client_id
+        self.active = False
+        self.activations = 0
+
+    def activate(self):
+        if not self.active:
+            self.activations += 1
+        self.active = True
+
+    def deactivate(self):
+        self.active = False
+
+
+class TestPeriodSchedule:
+    def test_period_lookup(self):
+        schedule = PeriodSchedule(10.0, {"a": [1, 2, 3]})
+        assert schedule.period_at(0.0) == 0
+        assert schedule.period_at(9.999) == 0
+        assert schedule.period_at(10.0) == 1
+        assert schedule.period_at(25.0) == 2
+        assert schedule.period_at(1e6) == 2  # clamped
+
+    def test_count_at(self):
+        schedule = PeriodSchedule(10.0, {"a": [1, 2, 3]})
+        assert schedule.count_at("a", 5.0) == 1
+        assert schedule.count_at("a", 15.0) == 2
+
+    def test_horizon_and_peak(self):
+        schedule = PeriodSchedule(10.0, {"a": [1, 5, 3]})
+        assert schedule.horizon == 30.0
+        assert schedule.peak_count("a") == 5
+
+    def test_scaled_preserves_shape(self):
+        schedule = PeriodSchedule(10.0, {"a": [1, 2]})
+        scaled = schedule.scaled(100.0)
+        assert scaled.counts == schedule.counts
+        assert scaled.horizon == 200.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PeriodSchedule(0.0, {"a": [1]})
+        with pytest.raises(WorkloadError):
+            PeriodSchedule(1.0, {})
+        with pytest.raises(WorkloadError):
+            PeriodSchedule(1.0, {"a": [1, 2], "b": [1]})
+        with pytest.raises(WorkloadError):
+            PeriodSchedule(1.0, {"a": [-1]})
+        with pytest.raises(WorkloadError):
+            PeriodSchedule(1.0, {"a": [1]}).period_at(-1.0)
+
+
+class TestPaperSchedule:
+    def test_eighteen_periods_three_classes(self):
+        schedule = paper_schedule()
+        assert schedule.num_periods == 18
+        assert set(schedule.counts) == {"class1", "class2", "class3"}
+
+    def test_oltp_low_medium_high_cycle(self):
+        """Highs at 3,6,...,18; lows at 1,4,...,16 (Section 4.3)."""
+        counts = paper_schedule().counts["class3"]
+        for period in (3, 6, 9, 12, 15, 18):
+            assert counts[period - 1] == 25
+        for period in (1, 4, 7, 10, 13, 16):
+            assert counts[period - 1] == 15
+        for period in (2, 5, 8, 11, 14, 17):
+            assert counts[period - 1] == 20
+
+    def test_olap_counts_within_2_to_6(self):
+        schedule = paper_schedule()
+        for name in ("class1", "class2"):
+            assert all(2 <= c <= 6 for c in schedule.counts[name])
+
+    def test_period_18_is_heaviest(self):
+        """Two Class 1 + six Class 2 + twenty-five Class 3 clients."""
+        schedule = paper_schedule()
+        assert schedule.counts["class1"][17] == 2
+        assert schedule.counts["class2"][17] == 6
+        assert schedule.counts["class3"][17] == 25
+        totals = [
+            schedule.counts["class1"][i]
+            + schedule.counts["class2"][i]
+            + schedule.counts["class3"][i]
+            for i in range(18)
+        ]
+        assert totals[17] == max(totals)
+
+    def test_period_17_pairs_medium_oltp_with_high_olap(self):
+        schedule = paper_schedule()
+        assert schedule.counts["class3"][16] == 20
+        olap_totals = [
+            schedule.counts["class1"][i] + schedule.counts["class2"][i]
+            for i in range(18)
+        ]
+        assert olap_totals[16] == max(olap_totals)
+
+
+class TestClientPoolManager:
+    def _manager(self, counts):
+        sim = Simulator()
+        schedule = PeriodSchedule(10.0, counts)
+        manager = ClientPoolManager(sim, schedule, FakeClient)
+        return sim, manager
+
+    def test_initial_period_activates_clients(self):
+        sim, manager = self._manager({"a": [3, 1]})
+        manager.start()
+        sim.run_until(0.0)
+        assert manager.active_count("a") == 3
+
+    def test_shrinking_deactivates_extras(self):
+        sim, manager = self._manager({"a": [3, 1]})
+        manager.start()
+        sim.run_until(10.0)
+        assert manager.active_count("a") == 1
+        assert len(manager.pool("a")) == 3  # clients kept, just idle
+
+    def test_growing_reuses_then_creates(self):
+        sim, manager = self._manager({"a": [2, 4]})
+        manager.start()
+        sim.run_until(0.0)
+        first_pool = manager.pool("a")
+        sim.run_until(10.0)
+        assert manager.active_count("a") == 4
+        # The original clients were reused (same objects, stable ids).
+        assert manager.pool("a")[:2] == first_pool
+
+    def test_client_ids_stable_and_unique(self):
+        sim, manager = self._manager({"a": [2, 3]})
+        manager.start()
+        sim.run_until(10.0)
+        ids = [c.client_id for c in manager.pool("a")]
+        assert ids == ["a-c0", "a-c1", "a-c2"]
+
+    def test_double_start_rejected(self):
+        sim, manager = self._manager({"a": [1]})
+        manager.start()
+        with pytest.raises(WorkloadError):
+            manager.start()
+
+    def test_constant_schedule_helper(self):
+        schedule = constant_schedule(5.0, 4, {"x": 7})
+        assert schedule.num_periods == 4
+        assert all(c == 7 for c in schedule.counts["x"])

@@ -1,0 +1,48 @@
+"""Tests for the TPC-C-like OLTP workload definition."""
+
+import pytest
+
+from repro.workloads.tpcc import mean_transaction_demand, tpcc_mix, tpcc_template
+
+
+def test_five_standard_transactions():
+    mix = tpcc_mix()
+    names = {t.name for t in mix.templates}
+    assert names == {"new_order", "payment", "order_status", "delivery", "stock_level"}
+
+
+def test_standard_mix_percentages():
+    mix = tpcc_mix()
+    weights = {t.name: t.weight for t in mix.templates}
+    assert weights["new_order"] == pytest.approx(45.0)
+    assert weights["payment"] == pytest.approx(43.0)
+    assert weights["order_status"] == pytest.approx(4.0)
+    assert weights["delivery"] == pytest.approx(4.0)
+    assert weights["stock_level"] == pytest.approx(4.0)
+
+
+def test_transactions_are_cpu_leaning_and_serial():
+    """Section 3.2: 'OLTP queries are CPU intensive.'"""
+    for t in tpcc_mix().templates:
+        assert t.kind == "oltp"
+        assert t.cpu_demand > t.io_demand
+        assert t.parallelism == 1
+        assert t.rounds == 1
+
+
+def test_transactions_are_sub_second():
+    """Section 3: OLTP queries have sub-second execution time."""
+    for t in tpcc_mix().templates:
+        assert t.cpu_demand + t.io_demand < 0.1
+
+
+def test_mean_demand_helper():
+    cpu, io = mean_transaction_demand()
+    assert 0.01 < cpu < 0.025
+    assert 0.003 < io < 0.01
+
+
+def test_template_lookup():
+    assert tpcc_template("delivery").name == "delivery"
+    with pytest.raises(KeyError):
+        tpcc_template("refund")

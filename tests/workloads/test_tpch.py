@@ -1,0 +1,72 @@
+"""Tests for the TPC-H-like OLAP workload definition."""
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.dbms.optimizer import CostEstimator
+from repro.sim.rng import RandomStreams
+from repro.workloads.tpch import (
+    TPCH_EXCLUDED,
+    OLAP_PARALLELISM,
+    tpch_mix,
+    tpch_template,
+)
+
+
+def estimator():
+    return CostEstimator(OptimizerConfig(noise_sigma=0.0), RandomStreams(1))
+
+
+def test_default_mix_excludes_the_four_monsters():
+    mix = tpch_mix()
+    names = {t.name for t in mix.templates}
+    assert len(mix) == 18
+    for excluded in TPCH_EXCLUDED:
+        assert excluded not in names
+
+
+def test_full_mix_has_all_22():
+    mix = tpch_mix(include_excluded=True)
+    assert len(mix) == 22
+
+
+def test_excluded_queries_are_the_most_expensive():
+    est = estimator()
+    mix = tpch_mix(include_excluded=True)
+    costs = {
+        t.name: est.true_cost(t.cpu_demand, t.io_demand) for t in mix.templates
+    }
+    cheapest_excluded = min(costs[name] for name in TPCH_EXCLUDED)
+    dearest_included = max(
+        cost for name, cost in costs.items() if name not in TPCH_EXCLUDED
+    )
+    assert cheapest_excluded > dearest_included
+
+
+def test_templates_are_olap_and_io_leaning():
+    for t in tpch_mix().templates:
+        assert t.kind == "olap"
+        assert t.io_demand > t.cpu_demand
+        assert t.parallelism == OLAP_PARALLELISM
+        assert t.rounds > 1
+
+
+def test_costs_span_an_order_of_magnitude():
+    """The spread is what gives QP's large/medium/small split meaning."""
+    est = estimator()
+    costs = [est.true_cost(t.cpu_demand, t.io_demand) for t in tpch_mix().templates]
+    assert max(costs) / min(costs) > 5
+
+
+def test_mean_cost_scale_matches_system_limit():
+    """Several concurrent queries must fit under the 30K system limit,
+    but a heavy class (6+ clients) must be able to exceed its share."""
+    est = estimator()
+    mean = tpch_mix().mean_true_cost(est)
+    assert 2_000 < mean < 6_000
+
+
+def test_template_lookup():
+    assert tpch_template("q9").name == "q9"
+    with pytest.raises(KeyError):
+        tpch_template("q99")
