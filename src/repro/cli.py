@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     python -m repro run        # run a controller on the paper workload
     python -m repro calibrate  # throughput-vs-system-cost-limit sweep
     python -m repro figure     # regenerate one of the paper's figures
+    python -m repro trace      # run the Query Scheduler, dump telemetry JSONL
 
 Every command prints the same ASCII tables the benchmark harness uses, so
 the CLI is the quickest way to poke at the system without writing code.
@@ -29,6 +30,7 @@ from repro.metrics.report import (
     format_figure_series,
     format_period_table,
     format_plan_table,
+    format_prediction_summary,
     format_summary,
     render_series_chart,
 )
@@ -72,6 +74,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
             [c.name for c in result.classes],
             title="Class cost limits (period means, timerons)",
         ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    result = run_experiment(controller=args.controller, config=config)
+    store = result.extras.get("telemetry")
+    if store is None:
+        print(
+            "controller {!r} produces no telemetry (use qs or qs_detect)".format(
+                args.controller
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    if args.output:
+        store.save_jsonl(args.output)
+        print("wrote {} ({} control intervals)".format(args.output, len(store)))
+    else:
+        sys.stdout.write(store.to_jsonl())
+    if args.summary:
+        print()
+        print(format_prediction_summary(
+            store.prediction_error_summary(),
+            title="One-step prediction error per class",
+        ))
+        print()
+        print("Dispatcher balance (released = completed + cancelled + in-flight):")
+        for name, counts in sorted(store.dispatcher_balance().items()):
+            print(
+                "  {:<10} released={:<6} completed={:<6} cancelled={:<6} "
+                "in_flight={}".format(
+                    name,
+                    counts["released"],
+                    counts["completed"],
+                    counts["cancelled"],
+                    counts["in_flight"],
+                )
+            )
     return 0
 
 
@@ -172,6 +213,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write results to a .json or .csv file",
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run the Query Scheduler and export controller telemetry"
+    )
+    trace_parser.add_argument(
+        "--controller", choices=("qs", "qs_detect"), default="qs"
+    )
+    trace_parser.add_argument("--periods", type=int, default=9)
+    trace_parser.add_argument("--period-seconds", type=float, default=120.0)
+    trace_parser.add_argument("--control-interval", type=float, default=60.0)
+    trace_parser.add_argument("--seed", type=int, default=7)
+    trace_parser.add_argument(
+        "--output", default=None,
+        help="write telemetry JSONL here (default: stdout)",
+    )
+    trace_parser.add_argument(
+        "--summary", action="store_true",
+        help="also print prediction-error and accounting summaries",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     cal_parser = sub.add_parser("calibrate", help="throughput vs system cost limit")
     cal_parser.add_argument(

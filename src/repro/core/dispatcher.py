@@ -27,7 +27,7 @@ nothing in flight, so a mis-estimated monster cannot wedge its class forever.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 #: Accepted queue disciplines.
 DISCIPLINES = ("fifo", "sjf", "aging")
@@ -46,14 +46,40 @@ from repro.patroller.patroller import QueryPatroller
 class _ClassState:
     """Dispatcher-side bookkeeping for one service class."""
 
-    __slots__ = ("service_class", "queue", "in_flight_cost", "in_flight_count", "released")
+    __slots__ = (
+        "service_class",
+        "queue",
+        "in_flight_cost",
+        "in_flight_count",
+        "in_flight_ids",
+        "released",
+        "completed",
+        "cancelled",
+    )
 
     def __init__(self, service_class: ServiceClass) -> None:
         self.service_class = service_class
         self.queue: List[Query] = []
         self.in_flight_cost = 0.0
         self.in_flight_count = 0
+        #: Ids of the queries this dispatcher released and not yet retired —
+        #: the ground truth the cost/count pair must always agree with.
+        self.in_flight_ids: Set[int] = set()
         self.released = 0
+        self.completed = 0
+        self.cancelled = 0
+
+    def retire(self, query: Query) -> None:
+        """Drop a released query from the in-flight accounting."""
+        self.in_flight_ids.discard(query.query_id)
+        self.in_flight_cost -= query.estimated_cost
+        self.in_flight_count -= 1
+        if not self.in_flight_ids:
+            # Snap residual float drift so an idle class is exactly zero.
+            self.in_flight_cost = 0.0
+            self.in_flight_count = 0
+        elif self.in_flight_cost < 0:
+            self.in_flight_cost = 0.0
 
 
 class Dispatcher:
@@ -86,6 +112,7 @@ class Dispatcher:
                 )
         self._plan = initial_plan
         engine.add_completion_listener(self._on_completion)
+        patroller.add_cancel_listener(self._on_cancellation)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -110,6 +137,14 @@ class Dispatcher:
     def released_count(self, class_name: str) -> int:
         """Total queries of the class released so far."""
         return self._state(class_name).released
+
+    def completed_count(self, class_name: str) -> int:
+        """Total released queries of the class that finished execution."""
+        return self._state(class_name).completed
+
+    def cancelled_count(self, class_name: str) -> int:
+        """Total released queries of the class cancelled before completion."""
+        return self._state(class_name).cancelled
 
     def _state(self, class_name: str) -> _ClassState:
         state = self._states.get(class_name)
@@ -171,13 +206,16 @@ class Dispatcher:
         return min(range(len(queue)), key=aged_cost)
 
     def _release_eligible_for(self, state: _ClassState) -> int:
-        limit = self._limit_for(state)
-        released = 0
-        while state.queue:
-            # Purge abandoned queries first (QP cancel); drop silently.
+        # Purge abandoned queries once per call (QP cancel); drop silently.
+        # Cancellations arrive through _on_cancellation between calls, so no
+        # new tombstones can appear while the release loop below runs.
+        if any(q.state == QueryState.CANCELLED for q in state.queue):
             state.queue = [
                 q for q in state.queue if q.state != QueryState.CANCELLED
             ]
+        limit = self._limit_for(state)
+        released = 0
+        while state.queue:
             index = self._select_index(state)
             if index is None:
                 break
@@ -190,6 +228,7 @@ class Dispatcher:
             state.queue.pop(index)
             state.in_flight_cost += query.estimated_cost
             state.in_flight_count += 1
+            state.in_flight_ids.add(query.query_id)
             state.released += 1
             self.patroller.release(query)
             released += 1
@@ -206,12 +245,32 @@ class Dispatcher:
         state = self._states.get(query.class_name)
         if state is None or not state.service_class.directly_controlled:
             return
-        if state.in_flight_count <= 0:
+        if query.query_id not in state.in_flight_ids:
             # Completion of a query this dispatcher never released (e.g. a
             # different controller ran earlier in the same engine) — ignore.
             return
-        state.in_flight_cost -= query.estimated_cost
-        state.in_flight_count -= 1
-        if state.in_flight_cost < 0:
-            state.in_flight_cost = 0.0
+        state.retire(query)
+        state.completed += 1
         self._release_eligible_for(state)
+
+    def _on_cancellation(self, query: Query) -> None:
+        """Patroller cancel-listener hook.
+
+        A query cancelled after release (while its agent unblock was still
+        in flight) never reaches the engine, so no completion will ever
+        retire it — release its slot here or the class limit shrinks
+        permanently.  A query cancelled while still queued is removed
+        immediately so queue lengths stay truthful.
+        """
+        state = self._states.get(query.class_name)
+        if state is None or not state.service_class.directly_controlled:
+            return
+        if query.query_id in state.in_flight_ids:
+            state.retire(query)
+            state.cancelled += 1
+            self._release_eligible_for(state)
+            return
+        for index, queued in enumerate(state.queue):
+            if queued.query_id == query.query_id:
+                state.queue.pop(index)
+                break

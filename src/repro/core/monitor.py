@@ -125,6 +125,16 @@ class Monitor:
         if window is not None and query.kind == "olap":
             window.add(query.finish_time, query.velocity)
 
+    def on_cancelled(self, query: Query) -> None:
+        """Patroller cancel-listener hook: forget an abandoned query.
+
+        Cancelled queries never complete through the engine, so purging here
+        (rather than lazily inside velocity measurement) keeps ``_open``
+        bounded even for deployments with no OLAP class, where velocity is
+        never measured.
+        """
+        self._open.pop(query.query_id, None)
+
     def _take_snapshot(self) -> None:
         self._snapshots_taken += 1
         now = self.sim.now
@@ -176,13 +186,12 @@ class Monitor:
         values = window.values()
         # Blend in queries currently in the system (released or queued):
         # their velocity-so-far is the freshest signal of queueing pressure.
-        cancelled = [
-            qid for qid, q in self._open.items() if q.state == QueryState.CANCELLED
-        ]
-        for qid in cancelled:
-            del self._open[qid]
         for query in self._open.values():
             if query.class_name != service_class.name:
+                continue
+            if query.state == QueryState.CANCELLED:
+                # Stale entry from an unwired cancellation path; it carries
+                # no pressure signal (it will never execute).
                 continue
             if query.submit_time is None:
                 continue

@@ -9,7 +9,7 @@ plus the invariant checks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.errors import SchedulingError
 
@@ -90,7 +90,9 @@ class SchedulingPlan:
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
-    def replace(self, created_at: float = None, **limits: float) -> "SchedulingPlan":
+    def replace(
+        self, created_at: Optional[float] = None, **limits: float
+    ) -> "SchedulingPlan":
         """A new plan with some class limits replaced."""
         new_limits = dict(self._limits)
         for name, limit in limits.items():

@@ -29,11 +29,21 @@ from repro.sim.engine import Simulator
 
 
 class PlanRecord(NamedTuple):
-    """One control-interval decision, kept for analysis and Figure 7."""
+    """One control-interval decision, kept for analysis and Figure 7.
+
+    ``predictions`` holds the solver's predicted goal-metric value per class
+    under the plan just installed (what the models expect the *next*
+    measurement to look like); ``trigger`` distinguishes the fixed-interval
+    loop from detection-driven early re-plans; ``interval_index`` counts
+    decisions from zero.
+    """
 
     time: float
     plan: SchedulingPlan
     measurements: Dict[str, ClassMeasurement]
+    predictions: Dict[str, float] = {}
+    trigger: str = "scheduled"
+    interval_index: int = 0
 
 
 PlanListener = Callable[[PlanRecord], None]
@@ -127,10 +137,10 @@ class SchedulingPlanner:
         if self._last_interval_at is not None and now - self._last_interval_at < min_spacing:
             return False
         self.early_triggers += 1
-        self.run_interval()
+        self.run_interval(trigger="early")
         return True
 
-    def run_interval(self) -> PlanRecord:
+    def run_interval(self, trigger: str = "scheduled") -> PlanRecord:
         """One control-interval decision (public for tests and manual use)."""
         now = self.sim.now
         self._last_interval_at = now
@@ -148,11 +158,36 @@ class SchedulingPlanner:
         self.dispatcher.install_plan(plan)
         if self._oltp_class is not None:
             self._previous_oltp = measurements.get(self._oltp_class.name)
-        record = PlanRecord(time=now, plan=plan, measurements=measurements)
+        record = PlanRecord(
+            time=now,
+            plan=plan,
+            measurements=measurements,
+            predictions=self._predict_under(statuses, plan),
+            trigger=trigger,
+            interval_index=len(self.history),
+        )
         self.history.append(record)
         for listener in self._listeners:
             listener(record)
         return record
+
+    def _predict_under(
+        self, statuses: List[ClassStatus], plan: SchedulingPlan
+    ) -> Dict[str, float]:
+        """Per-class predicted metric value under the plan just chosen.
+
+        Model-free allocators (the deficit heuristic) expose no
+        ``predict_value``; they simply yield an empty prediction set.
+        """
+        predict = getattr(self.solver, "predict_value", None)
+        if predict is None:
+            return {}
+        return {
+            status.service_class.name: predict(
+                status, plan.limit(status.service_class.name)
+            )
+            for status in statuses
+        }
 
     @staticmethod
     def _value_of(

@@ -36,6 +36,7 @@ from repro.core.utility import make_utility
 from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import Query
 from repro.errors import SchedulingError
+from repro.metrics.telemetry import ControllerTelemetry
 from repro.patroller.patroller import QueryPatroller
 from repro.sim.engine import Simulator
 
@@ -111,8 +112,15 @@ class QueryScheduler:
         self.planner = SchedulingPlanner(
             sim, self.monitor, self.dispatcher, self.solver, self.classes, config.planner
         )
+        self.telemetry = ControllerTelemetry(
+            planner=self.planner,
+            dispatcher=self.dispatcher,
+            solver=self.solver,
+            classes=self.classes,
+        )
         self.monitor.set_forward(self._classify_and_enqueue)
         patroller.set_release_handler(self.monitor.on_intercepted)
+        patroller.add_cancel_listener(self.monitor.on_cancelled)
         self.detector: Optional[WorkloadDetector] = None
         self._started = False
 

@@ -15,6 +15,7 @@ points; beyond that a greedy unit-reallocation ascent is used.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.models import OLAPVelocityModel, OLTPResponseTimeModel
@@ -75,6 +76,8 @@ class PerformanceSolver:
         self.oltp_target_margin = oltp_target_margin
         self._solve_calls = 0
         self._evaluations = 0
+        self._last_score: Optional[float] = None
+        self._last_evaluations = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -88,6 +91,20 @@ class PerformanceSolver:
     def evaluations(self) -> int:
         """Candidate allocations evaluated across all solves."""
         return self._evaluations
+
+    @property
+    def last_score(self) -> Optional[float]:
+        """Objective score of the most recent solve's chosen allocation.
+
+        None before the first solve, and when every candidate scored NaN
+        (the fallback allocation was used unscored).
+        """
+        return self._last_score
+
+    @property
+    def last_evaluations(self) -> int:
+        """Candidate allocations evaluated by the most recent solve."""
+        return self._last_evaluations
 
     # ------------------------------------------------------------------
     # Prediction and objective
@@ -148,37 +165,66 @@ class PerformanceSolver:
                     self.system_cost_limit, len(statuses), self.min_class_limit
                 )
             )
+        evaluations_before = self._evaluations
         if len(statuses) <= _EXHAUSTIVE_MAX_CLASSES:
-            best_units = self._solve_exhaustive(statuses, total_units, min_units)
+            best_units, best_score = self._solve_exhaustive(
+                statuses, total_units, min_units
+            )
         else:
-            best_units = self._solve_greedy(statuses, total_units, min_units)
+            best_units, best_score = self._solve_greedy(
+                statuses, total_units, min_units
+            )
+        self._last_evaluations = self._evaluations - evaluations_before
+        self._last_score = None if math.isnan(best_score) else best_score
+        if len(best_units) != len(names):
+            raise SchedulingError(
+                "solver produced {} limits for {} classes".format(
+                    len(best_units), len(names)
+                )
+            )
         limits = {
             name: units * self.grid for name, units in zip(names, best_units)
         }
         return SchedulingPlan(limits, self.system_cost_limit, created_at=now)
+
+    @staticmethod
+    def _fallback_units(count: int, total_units: int, min_units: int) -> Tuple[int, ...]:
+        """An even full allocation, used when no candidate scores finitely."""
+        free_units = total_units - min_units * count
+        base, remainder = divmod(free_units, count)
+        return tuple(
+            min_units + base + (1 if index < remainder else 0)
+            for index in range(count)
+        )
 
     def _solve_exhaustive(
         self,
         statuses: Sequence[ClassStatus],
         total_units: int,
         min_units: int,
-    ) -> Tuple[int, ...]:
+    ) -> Tuple[Tuple[int, ...], float]:
         free_units = total_units - min_units * len(statuses)
-        best: Tuple[float, Tuple[int, ...]] = (float("-inf"), ())
+        # Seed with the even split so a degenerate objective (every score
+        # NaN, e.g. a NaN measurement reaching the utility) still yields a
+        # complete allocation instead of the empty tuple.
+        best_units = self._fallback_units(len(statuses), total_units, min_units)
+        best_score = float("nan")
         for combo in _compositions(free_units, len(statuses)):
             units = tuple(min_units + c for c in combo)
             limits = [u * self.grid for u in units]
             score = self.objective(statuses, limits)
-            if score > best[0]:
-                best = (score, units)
-        return best[1]
+            if math.isnan(score):
+                continue
+            if math.isnan(best_score) or score > best_score:
+                best_units, best_score = units, score
+        return best_units, best_score
 
     def _solve_greedy(
         self,
         statuses: Sequence[ClassStatus],
         total_units: int,
         min_units: int,
-    ) -> Tuple[int, ...]:
+    ) -> Tuple[Tuple[int, ...], float]:
         count = len(statuses)
         # Start proportional to current limits (projected onto the grid).
         current_total = sum(max(s.current_limit, 1.0) for s in statuses)
@@ -212,9 +258,10 @@ class PerformanceSolver:
                     score = self.objective(statuses, [u * self.grid for u in units])
                     units[donor] += 1
                     units[recipient] -= 1
-                    if score > best_score and (
-                        best_move is None or score > best_move[0]
-                    ):
+                    if math.isnan(score):
+                        continue
+                    improves = math.isnan(best_score) or score > best_score
+                    if improves and (best_move is None or score > best_move[0]):
                         best_move = (score, donor, recipient)
             if best_move is not None:
                 _, donor, recipient = best_move
@@ -222,7 +269,7 @@ class PerformanceSolver:
                 units[recipient] += 1
                 best_score = best_move[0]
                 improved = True
-        return tuple(units)
+        return tuple(units), best_score
 
 
 def _compositions(total: int, parts: int):

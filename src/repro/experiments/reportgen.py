@@ -83,6 +83,54 @@ def _plan_section(result: ExperimentResult) -> List[str]:
     return lines
 
 
+def _telemetry_section(result: ExperimentResult) -> List[str]:
+    """Controller telemetry: model prediction error and loop accounting."""
+    store = result.extras.get("telemetry")
+    if store is None or len(store) == 0:
+        return []
+    lines = ["## Controller telemetry", ""]
+    lines.append(
+        "{} control intervals recorded ({} early-triggered).".format(
+            len(store),
+            sum(1 for record in store if record.trigger == "early"),
+        )
+    )
+    lines.append("")
+    summaries = store.prediction_error_summary()
+    if summaries:
+        lines.append("One-step prediction error (realized minus predicted):")
+        lines.append("")
+        lines.append("| class | intervals | mean abs error | mean error |")
+        lines.append("|---|---|---|---|")
+        for name in sorted(summaries):
+            summary = summaries[name]
+            lines.append(
+                "| {} | {} | {:.4f} | {:+.4f} |".format(
+                    name, summary.count, summary.mean_abs_error, summary.mean_error
+                )
+            )
+        lines.append("")
+    balance = store.dispatcher_balance()
+    if balance:
+        lines.append("Dispatcher accounting at end of run:")
+        lines.append("")
+        lines.append("| class | released | completed | cancelled | in flight |")
+        lines.append("|---|---|---|---|---|")
+        for name in sorted(balance):
+            counts = balance[name]
+            lines.append(
+                "| {} | {} | {} | {} | {} |".format(
+                    name,
+                    counts["released"],
+                    counts["completed"],
+                    counts["cancelled"],
+                    counts["in_flight"],
+                )
+            )
+        lines.append("")
+    return lines
+
+
 def generate_report(
     config: Optional[SimulationConfig] = None,
     controllers: Optional[Dict[str, str]] = None,
@@ -107,6 +155,7 @@ def generate_report(
     lines += _result_section("Query Scheduler (Figure 6)", qs_result)
     figure7(result=qs_result)  # validates the run is a QS run
     lines += _plan_section(qs_result)
+    lines += _telemetry_section(qs_result)
     return "\n".join(lines)
 
 

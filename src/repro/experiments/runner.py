@@ -243,7 +243,7 @@ def run_experiment(
     built.start()
     bundle.manager.start()
     bundle.run()
-    return ExperimentResult(
+    result = ExperimentResult(
         controller_name=controller,
         config=bundle.config,
         classes=bundle.classes,
@@ -251,3 +251,6 @@ def run_experiment(
         collector=bundle.collector,
         bundle=bundle,
     )
+    if isinstance(built, QueryScheduler):
+        result.extras["telemetry"] = built.telemetry.store
+    return result

@@ -11,16 +11,36 @@ from repro.metrics.report import (
     format_figure_series,
     format_period_table,
     format_plan_table,
+    format_prediction_summary,
     format_summary,
     render_series_chart,
 )
+from repro.metrics.telemetry import (
+    ControlIntervalRecord,
+    ControllerTelemetry,
+    DispatcherClassTelemetry,
+    MeasurementTelemetry,
+    PredictionErrorSummary,
+    PredictionTelemetry,
+    SolverTelemetry,
+    TelemetryStore,
+)
 
 __all__ = [
+    "ControlIntervalRecord",
+    "ControllerTelemetry",
+    "DispatcherClassTelemetry",
+    "MeasurementTelemetry",
     "MetricsCollector",
     "PeriodClassMetrics",
+    "PredictionErrorSummary",
+    "PredictionTelemetry",
+    "SolverTelemetry",
+    "TelemetryStore",
     "format_period_table",
     "format_figure_series",
     "format_plan_table",
+    "format_prediction_summary",
     "format_summary",
     "render_series_chart",
     "result_to_dict",

@@ -40,7 +40,7 @@ def result_to_dict(result: "ExperimentResult") -> Dict:
         service_class.name: result.collector.plan_period_means(service_class.name)
         for service_class in result.classes
     }
-    return {
+    payload = {
         "controller": result.controller_name,
         "seed": result.config.seed,
         "system_cost_limit": result.config.system_cost_limit,
@@ -50,6 +50,17 @@ def result_to_dict(result: "ExperimentResult") -> Dict:
         "classes": classes,
         "plan_period_means": plans,
     }
+    telemetry = result.extras.get("telemetry")
+    if telemetry is not None:
+        payload["telemetry"] = {
+            "intervals": len(telemetry),
+            "prediction_error": {
+                name: summary.to_dict()
+                for name, summary in telemetry.prediction_error_summary().items()
+            },
+            "dispatcher_balance": telemetry.dispatcher_balance(),
+        }
+    return payload
 
 
 def result_to_json(result: "ExperimentResult", indent: Optional[int] = 2) -> str:

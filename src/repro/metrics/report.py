@@ -6,10 +6,13 @@ these helpers keep that formatting in one place.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.service_class import ServiceClass
 from repro.metrics.collector import MetricsCollector
+
+if TYPE_CHECKING:
+    from repro.metrics.telemetry import PredictionErrorSummary
 
 
 def _fmt(value: Optional[float], width: int = 8, digits: int = 3) -> str:
@@ -88,6 +91,40 @@ def format_plan_table(
             value = means[name][period]
             row += " {} |".format(_fmt(value, width=10, digits=0))
         lines.append(row)
+    return "\n".join(lines)
+
+
+def format_prediction_summary(
+    summaries: Dict[str, "PredictionErrorSummary"],
+    title: str = "",
+) -> str:
+    """Per-class one-step prediction-error table from controller telemetry.
+
+    ``mean_err`` is signed (positive = the model under-predicted the
+    realised value); ``mean_|err|`` is the magnitude that matters for
+    control quality.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not summaries:
+        lines.append("(no prediction telemetry)")
+        return "\n".join(lines)
+    header = "{:>10} | {:>9} | {:>10} | {:>10}".format(
+        "class", "intervals", "mean_|err|", "mean_err"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(summaries):
+        summary = summaries[name]
+        lines.append(
+            "{:>10} | {:>9} | {} | {}".format(
+                name,
+                summary.count,
+                _fmt(summary.mean_abs_error, width=10, digits=4),
+                _fmt(summary.mean_error, width=10, digits=4),
+            )
+        )
     return "\n".join(lines)
 
 

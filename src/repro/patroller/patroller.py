@@ -17,7 +17,7 @@ handed every intercepted query; it then decides when to call ``release``.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.config import PatrollerConfig
 from repro.dbms.engine import DatabaseEngine
@@ -25,8 +25,10 @@ from repro.dbms.query import CPU, Phase, Query, QueryState
 from repro.errors import PatrollerError
 from repro.patroller.tables import ControlTables
 from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
 
 ReleaseHandler = Callable[[Query], None]
+CancelListener = Callable[[Query], None]
 
 
 class QueryPatroller:
@@ -46,9 +48,13 @@ class QueryPatroller:
         self._intercepted_classes: Set[str] = set()
         self._release_handler: Optional[ReleaseHandler] = None
         self._held: Set[int] = set()
+        #: Released queries whose engine hand-off is still in flight
+        #: (release-latency window); maps query id to the pending event.
+        self._pending_release: Dict[int, EventHandle] = {}
         self._intercepted_count = 0
         self._bypassed_count = 0
         self._submit_listeners = []
+        self._cancel_listeners: List[CancelListener] = []
         engine.add_completion_listener(self._on_completion)
 
     # ------------------------------------------------------------------
@@ -77,6 +83,15 @@ class QueryPatroller:
         the OLTP traffic too.
         """
         self._submit_listeners.append(listener)
+
+    def add_cancel_listener(self, listener: CancelListener) -> None:
+        """Observe every successful cancellation.
+
+        The dispatcher and monitor subscribe so a cancelled statement
+        releases its accounting (queue slot, in-flight cost, open-query
+        entry) instead of leaking it until the next lazy purge.
+        """
+        self._cancel_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -155,28 +170,41 @@ class QueryPatroller:
         # the release latency is execution overhead, not scheduler hold time.
         query.release_time = self.sim.now
         if self.config.release_latency > 0:
-            self.sim.schedule(
+            self._pending_release[query.query_id] = self.sim.schedule(
                 self.config.release_latency,
-                lambda: self.engine.execute(query),
+                lambda: self._begin_execution(query),
                 label="qp:release:{}".format(query.query_id),
             )
         else:
             self.engine.execute(query)
 
-    def cancel(self, query: Query) -> bool:
-        """Cancel a held (still-queued) query — the QP cancel command.
+    def _begin_execution(self, query: Query) -> None:
+        self._pending_release.pop(query.query_id, None)
+        self.engine.execute(query)
 
-        Only queued statements can be cancelled; once released the agent is
-        executing and the request is refused (returns False).  The query
-        never reaches the engine: its state becomes CANCELLED and the
-        control-table row records the abandonment.
+    def cancel(self, query: Query) -> bool:
+        """Cancel a queued (or not-yet-executing) query — QP's cancel command.
+
+        Succeeds for statements still held in a class queue and for released
+        statements whose agent unblock is still in flight (the release
+        latency window); once execution begins the request is refused
+        (returns False).  A cancelled query never reaches the engine: its
+        state becomes CANCELLED, the control-table row records the
+        abandonment, and every cancel listener is notified so accounting
+        layers (dispatcher, monitor) release what they hold for it.
         """
-        if query.query_id not in self._held:
-            return False
-        self._held.discard(query.query_id)
+        if query.query_id in self._held:
+            self._held.discard(query.query_id)
+        else:
+            pending = self._pending_release.pop(query.query_id, None)
+            if pending is None or query.state != QueryState.RELEASED:
+                return False
+            pending.cancel()
         self.tables.mark_cancelled(query.query_id, self.sim.now)
         query.state = QueryState.CANCELLED
         query.finish_time = self.sim.now
+        for listener in self._cancel_listeners:
+            listener(query)
         return True
 
     def reject(self, query: Query) -> None:

@@ -131,9 +131,14 @@ class ControlTables:
         record.release_time = time
 
     def mark_cancelled(self, query_id: int, time: float) -> None:
-        """Transition a queued record to cancelled (user abandoned it)."""
+        """Transition a queued or released record to cancelled.
+
+        Queued statements are the common case (user abandonment); a released
+        statement can still be cancelled while its agent is being unblocked,
+        i.e. before execution begins.
+        """
         record = self.get(query_id)
-        if record.status != STATUS_QUEUED:
+        if record.status not in (STATUS_QUEUED, STATUS_RELEASED):
             raise PatrollerError(
                 "query {} cancelled from status {!r}".format(query_id, record.status)
             )

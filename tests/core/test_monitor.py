@@ -171,3 +171,45 @@ class TestWiring:
         results = monitor.measure_all()
         assert "class1" in results
         assert "class3" not in results  # nothing measured for it yet
+
+
+class TestCancellationPurge:
+    """Regression: cancelled queries must leave the open-query table even
+    when velocity is never measured (e.g. an OLTP-only deployment)."""
+
+    def test_on_cancelled_purges_open_query(self):
+        sim, engine, patroller, monitor = make_world()
+        monitor.set_forward(lambda q: None)
+        query = make_query()
+        monitor.on_intercepted(query)
+        assert monitor.open_queries == 1
+        monitor.on_cancelled(query)
+        assert monitor.open_queries == 0
+
+    def test_open_set_stays_bounded_without_velocity_measurement(self):
+        """Feed many queries and cancel them all, never calling measure():
+        pre-fix, _open only shrank inside _measure_velocity, so a
+        deployment with no OLAP class grew without bound."""
+        from repro.core.service_class import (
+            ResponseTimeGoal,
+            ServiceClass,
+        )
+
+        sim = Simulator()
+        config = default_config()
+        engine = DatabaseEngine(sim, config, RandomStreams(12))
+        oltp_only = [
+            ServiceClass("class3", "oltp", ResponseTimeGoal(0.25), 3)
+        ]
+        monitor = Monitor(sim, engine, oltp_only, config.monitor)
+        monitor.set_forward(lambda q: None)
+        for _ in range(100):
+            query = make_query(class_name="class3", kind="oltp")
+            monitor.on_intercepted(query)
+            monitor.on_cancelled(query)
+        assert monitor.open_queries == 0
+
+    def test_on_cancelled_unknown_query_is_noop(self):
+        sim, engine, patroller, monitor = make_world()
+        monitor.on_cancelled(make_query())  # never intercepted
+        assert monitor.open_queries == 0

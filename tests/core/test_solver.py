@@ -156,13 +156,81 @@ class TestGreedyPath:
         optimum for a small instance."""
         solver = make_solver()
         statuses = paper_statuses(v1=0.2, v2=0.7, t3=0.35)
-        exhaustive_plan = solver._solve_exhaustive(statuses, 30, 1)
-        greedy_plan = solver._solve_greedy(statuses, 30, 1)
+        exhaustive_plan, _ = solver._solve_exhaustive(statuses, 30, 1)
+        greedy_plan, _ = solver._solve_greedy(statuses, 30, 1)
         exhaustive_score = solver.objective(
             statuses, [u * 1_000.0 for u in exhaustive_plan]
         )
         greedy_score = solver.objective(statuses, [u * 1_000.0 for u in greedy_plan])
         assert greedy_score >= exhaustive_score - 1e-6
+
+
+class _NaNUtility:
+    """A pathological utility: every achievement scores NaN."""
+
+    def value(self, achievement, importance):
+        return float("nan")
+
+
+class TestNaNResilience:
+    """Regression: an all-NaN objective used to make ``_solve_exhaustive``
+    return an empty tuple (``max`` over no finite candidates), crashing
+    plan construction downstream."""
+
+    def _nan_solver(self):
+        return PerformanceSolver(
+            utility=_NaNUtility(),
+            oltp_model=OLTPResponseTimeModel(prior_slope=-4.2e-6),
+            system_cost_limit=30_000.0,
+            grid_timerons=1_000.0,
+            min_class_limit=1_000.0,
+        )
+
+    def test_exhaustive_all_nan_returns_full_fallback(self):
+        solver = self._nan_solver()
+        units, score = solver._solve_exhaustive(paper_statuses(), 30, 1)
+        assert len(units) == 3
+        assert sum(units) == 30
+        assert all(u >= 1 for u in units)
+        import math
+        assert math.isnan(score)
+
+    def test_solve_all_nan_yields_feasible_plan(self):
+        solver = self._nan_solver()
+        plan = solver.solve(paper_statuses())
+        assert len(plan) == 3
+        assert plan.total_allocated == pytest.approx(30_000.0)
+        for name in plan:
+            assert plan.limit(name) >= 1_000.0
+        assert solver.last_score is None
+
+    def test_greedy_all_nan_yields_feasible_plan(self):
+        solver = self._nan_solver()
+        statuses = [
+            ClassStatus(olap("c{}".format(i), 0.5, 1), 6_000, 0.4)
+            for i in range(5)
+        ]
+        plan = solver.solve(statuses)
+        assert len(plan) == 5
+        assert plan.total_allocated <= 30_000.0 + 1e-6
+        assert solver.last_score is None
+
+    def test_nan_measurement_still_produces_plan(self):
+        """A NaN creeping in through a measurement must not break solve."""
+        solver = make_solver()
+        plan = solver.solve(paper_statuses(v1=float("nan")))
+        assert len(plan) == 3
+        assert plan.total_allocated <= 30_000.0 + 1e-6
+
+    def test_last_score_and_evaluations_track_solves(self):
+        solver = make_solver()
+        solver.solve(paper_statuses())
+        assert solver.last_score is not None
+        first_evals = solver.last_evaluations
+        assert first_evals > 100  # exhaustive enumeration
+        solver.solve(paper_statuses(t3=0.4))
+        assert solver.last_evaluations == first_evals
+        assert solver.evaluations == 2 * first_evals
 
 
 def test_solver_validation():

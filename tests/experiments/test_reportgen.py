@@ -31,13 +31,24 @@ def test_report_contains_all_sections(tiny_report):
     assert "DB2 QP priority control (Figure 5)" in tiny_report
     assert "Query Scheduler (Figure 6)" in tiny_report
     assert "Figure 7" in tiny_report
+    assert "Controller telemetry" in tiny_report
 
 
 def test_report_tables_have_period_rows(tiny_report):
-    # Two periods per section, four sections (3 figures + plans).
-    assert tiny_report.count("| 1 |") == 4
-    assert tiny_report.count("| 2 |") == 4
+    # Two periods per section, four sections (3 figures + plans).  Period
+    # rows start the line with the period number; telemetry tables start
+    # with a class name, so the anchor keeps them out of the count.
+    lines = tiny_report.splitlines()
+    assert sum(1 for line in lines if line.startswith("| 1 |")) == 4
+    assert sum(1 for line in lines if line.startswith("| 2 |")) == 4
     assert "attainment:" in tiny_report
+
+
+def test_report_telemetry_balance(tiny_report):
+    # The dispatcher accounting table appears and the run recorded at
+    # least one control interval.
+    assert "Dispatcher accounting at end of run:" in tiny_report
+    assert "control intervals recorded" in tiny_report
 
 
 def test_report_mentions_misses_or_values(tiny_report):

@@ -87,6 +87,99 @@ class TestPatrollerCancel:
         assert engine.completed_queries == 0
 
 
+class TestCancelDuringReleaseWindow:
+    """Regression: a query cancelled after release but before its unblock
+    event fires must free its dispatcher slot, or the class limit shrinks
+    permanently (in_flight_cost/in_flight_count leak)."""
+
+    def make_windowed_stack(self, release_latency=1.0):
+        sim = Simulator()
+        config = default_config(
+            patroller=PatrollerConfig(
+                interception_latency=0.0,
+                release_latency=release_latency,
+                overhead_cpu_demand=0.0,
+            )
+        )
+        engine = DatabaseEngine(sim, config, RandomStreams(55))
+        patroller = QueryPatroller(sim, engine, config.patroller)
+        patroller.enable_for_class("class1")
+        classes = list(paper_classes())
+        plan = SchedulingPlan(
+            {"class1": 1_000.0, "class2": 1_000.0, "class3": 1_000.0}, 30_000.0
+        )
+        dispatcher = Dispatcher(patroller, engine, classes, plan)
+        patroller.set_release_handler(dispatcher.enqueue)
+        return sim, engine, patroller, dispatcher
+
+    def test_cancel_in_window_frees_dispatcher_slot(self):
+        sim, engine, patroller, dispatcher = self.make_windowed_stack()
+        doomed = make_query(cost=900.0, demand=1.0)
+        patroller.submit(doomed)
+        sim.run_until(0.1)
+        # Released (slot charged) but the unblock event fires at t=1.0.
+        assert doomed.state == QueryState.RELEASED
+        assert dispatcher.in_flight_count("class1") == 1
+        assert dispatcher.in_flight_cost("class1") == pytest.approx(900.0)
+        assert patroller.cancel(doomed)
+        assert doomed.state == QueryState.CANCELLED
+        assert dispatcher.in_flight_count("class1") == 0
+        assert dispatcher.in_flight_cost("class1") == 0.0
+        assert dispatcher.cancelled_count("class1") == 1
+        sim.run_until(10.0)
+        assert engine.completed_queries == 0  # never reached the engine
+
+    def test_cancel_in_window_unblocks_successor(self):
+        """Without the slot release the class would be wedged: the next
+        query's cost no longer fits under the limit."""
+        sim, engine, patroller, dispatcher = self.make_windowed_stack()
+        doomed = make_query(cost=900.0, demand=1.0)
+        successor = make_query(cost=900.0, demand=1.0)
+        patroller.submit(doomed)
+        sim.run_until(0.1)
+        patroller.submit(successor)
+        sim.run_until(0.3)
+        assert dispatcher.queue_length("class1") == 1  # successor waits
+        patroller.cancel(doomed)
+        sim.run_until(30.0)
+        assert successor.state == QueryState.COMPLETED
+        assert engine.completed_queries == 1
+        assert dispatcher.released_count("class1") == 2
+        assert dispatcher.completed_count("class1") == 1
+        assert dispatcher.cancelled_count("class1") == 1
+        assert dispatcher.in_flight_count("class1") == 0
+        assert dispatcher.in_flight_cost("class1") == 0.0
+
+    def test_cancel_after_execution_starts_refused(self):
+        sim, engine, patroller, dispatcher = self.make_windowed_stack()
+        query = make_query(cost=900.0, demand=5.0)
+        patroller.submit(query)
+        sim.run_until(2.0)  # unblock event fired; query is executing
+        assert query.state == QueryState.EXECUTING
+        assert not patroller.cancel(query)
+        assert dispatcher.in_flight_count("class1") == 1
+
+    def test_cancelled_in_window_query_purged_from_monitor(self):
+        """The monitor's open-query table must not retain cancelled
+        queries (regression: unbounded growth with no OLAP class)."""
+        from repro.config import MonitorConfig
+        from repro.core.monitor import Monitor
+
+        sim, engine, patroller, dispatcher = self.make_windowed_stack()
+        monitor = Monitor(
+            sim, engine, list(paper_classes()), MonitorConfig()
+        )
+        monitor.set_forward(lambda q: None)
+        patroller.add_cancel_listener(monitor.on_cancelled)
+        doomed = make_query(cost=900.0, demand=1.0)
+        patroller.submit(doomed)
+        sim.run_until(0.1)
+        monitor.on_intercepted(doomed)
+        assert monitor.open_queries == 1
+        patroller.cancel(doomed)
+        assert monitor.open_queries == 0
+
+
 class TestQueueSkipping:
     def test_dispatcher_skips_cancelled_head(self):
         sim, engine, patroller = make_stack()

@@ -35,6 +35,41 @@ def test_run_rejects_unknown_controller():
         main(["run", "--controller", "chaos"])
 
 
+def test_trace_command_stdout_jsonl(capsys):
+    import json
+
+    code = main(["trace"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert lines, "trace produced no JSONL records"
+    for line in lines:
+        record = json.loads(line)
+        assert {"time", "interval_index", "trigger", "solver",
+                "dispatcher"} <= set(record)
+
+
+def test_trace_command_writes_file(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "trace.jsonl")
+    code = main(["trace", "--output", path, "--summary"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "wrote" in out
+    assert "One-step prediction error" in out
+    assert "Dispatcher balance" in out
+    with open(path) as handle:
+        rows = [json.loads(line) for line in handle if line.strip()]
+    assert rows
+    assert rows[0]["interval_index"] == 0
+
+
+def test_trace_rejects_non_qs_controller():
+    with pytest.raises(SystemExit):
+        main(["trace", "--controller", "none"] + FAST_RUN)
+
+
 def test_calibrate_command(capsys):
     code = main([
         "calibrate", "--limits", "10000", "30000",

@@ -440,3 +440,84 @@ def test_deficit_allocator_always_feasible(statuses):
     assert plan.total_allocated <= 30_000.0 + 1e-6
     for status in statuses:
         assert plan.limit(status.service_class.name) >= 1_000.0 - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher accounting conservation under cancellation
+# ---------------------------------------------------------------------------
+
+
+@given(
+    specs=st.lists(
+        st.tuples(
+            st.floats(min_value=100.0, max_value=2_000.0),  # estimated cost
+            st.floats(min_value=0.2, max_value=5.0),        # execution demand
+            st.one_of(                                      # abandon time
+                st.none(), st.floats(min_value=0.0, max_value=4.0)
+            ),
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    limit=st.floats(min_value=500.0, max_value=4_000.0),
+    release_latency=st.sampled_from([0.0, 0.3]),
+)
+@settings(max_examples=25, deadline=None)
+def test_dispatcher_accounting_survives_any_cancel_interleaving(
+    specs, limit, release_latency
+):
+    """After any interleaving of release/complete/cancel the in-flight
+    accounting returns exactly to zero and the release ledger balances
+    (released == completed + cancelled)."""
+    from repro.config import PatrollerConfig, default_config
+    from repro.core.dispatcher import Dispatcher
+    from repro.dbms.engine import DatabaseEngine
+    from repro.dbms.query import CPU, Phase, Query, QueryState
+    from repro.patroller.patroller import QueryPatroller
+    from repro.sim.rng import RandomStreams
+
+    sim = Simulator()
+    config = default_config(
+        patroller=PatrollerConfig(
+            interception_latency=0.0,
+            release_latency=release_latency,
+            overhead_cpu_demand=0.0,
+        )
+    )
+    engine = DatabaseEngine(sim, config, RandomStreams(17))
+    patroller = QueryPatroller(sim, engine, config.patroller)
+    patroller.enable_for_class("c")
+    service_class = ServiceClass("c", "olap", VelocityGoal(0.5), 1)
+    dispatcher = Dispatcher(
+        patroller, engine, [service_class], SchedulingPlan({"c": limit}, 1e9)
+    )
+    patroller.set_release_handler(dispatcher.enqueue)
+    queries = []
+    for index, (cost, demand, cancel_at) in enumerate(specs):
+        query = Query(
+            query_id=40_000 + index,
+            class_name="c",
+            client_id="p{}".format(index),
+            template="t",
+            kind="olap",
+            phases=(Phase(CPU, demand),),
+            true_cost=cost,
+            estimated_cost=cost,
+        )
+        queries.append(query)
+        patroller.submit(query)
+        if cancel_at is not None:
+            sim.schedule(cancel_at, lambda q=query: patroller.cancel(q))
+    sim.run()
+    # In-flight accounting returned exactly to zero...
+    assert dispatcher.in_flight_count("c") == 0
+    assert dispatcher.in_flight_cost("c") == 0.0
+    assert dispatcher.queue_length("c") == 0
+    # ...the release ledger balances...
+    assert dispatcher.released_count("c") == (
+        dispatcher.completed_count("c") + dispatcher.cancelled_count("c")
+    )
+    # ...and the dispatcher agrees with the engine about completions.
+    completed = sum(1 for q in queries if q.state == QueryState.COMPLETED)
+    assert engine.completed_queries == completed
+    assert dispatcher.completed_count("c") == completed
