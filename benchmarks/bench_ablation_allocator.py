@@ -11,28 +11,23 @@ reacting blindly).
 
 from __future__ import annotations
 
-import dataclasses
+import os
 
 from benchmarks.conftest import run_once
-from repro.experiments.runner import run_experiment
+from repro.experiments.sensitivity import sweep
 
 ALLOCATORS = ("utility", "deficit")
+JOBS = min(len(ALLOCATORS), os.cpu_count() or 1)
 
 
 def test_allocator_sweep(benchmark, report, ablation_config):
-    def sweep():
-        rows = {}
-        for allocator in ALLOCATORS:
-            config = ablation_config.with_updates(
-                planner=dataclasses.replace(
-                    ablation_config.planner, allocator=allocator
-                )
-            )
-            result = run_experiment(controller="qs", config=config)
-            rows[allocator] = result.goal_attainment()
-        return rows
-
-    rows = run_once(benchmark, sweep)
+    rows = dict(run_once(
+        benchmark,
+        lambda: sweep(
+            "planner.allocator", ALLOCATORS,
+            controller="qs", config=ablation_config, jobs=JOBS,
+        ),
+    ))
     report("")
     report("=== Ablation: plan construction strategy ===")
     report("{:>10} | {:>8} | {:>8} | {:>8}".format(

@@ -9,37 +9,46 @@ OLAP velocities and attainment.
 
 from __future__ import annotations
 
-import dataclasses
+import os
 
 from benchmarks.conftest import run_once
-from repro.experiments.runner import run_experiment
+from repro.experiments.parallel import RunRequest, run_requests
+from repro.experiments.sensitivity import set_config_field
 
 DISCIPLINES = ("fifo", "sjf", "aging")
+JOBS = min(len(DISCIPLINES), os.cpu_count() or 1)
 
 
 def test_queue_discipline_sweep(benchmark, report, ablation_config):
-    def sweep():
+    # The sweep needs OLAP velocity means on top of attainment, so it uses
+    # the parallel layer directly: the RunSummary's goal-metric series for
+    # an OLAP class *is* its per-period velocity series.
+    requests = [
+        RunRequest(
+            controller="qs",
+            config=set_config_field(
+                ablation_config, "planner.queue_discipline", discipline
+            ),
+            label=discipline,
+        )
+        for discipline in DISCIPLINES
+    ]
+
+    def fan_out():
         rows = {}
-        for discipline in DISCIPLINES:
-            config = ablation_config.with_updates(
-                planner=dataclasses.replace(
-                    ablation_config.planner, queue_discipline=discipline
-                )
-            )
-            result = run_experiment(controller="qs", config=config)
-            attainment = result.goal_attainment()
-            velocities = {}
-            for name in ("class1", "class2"):
-                values = [
-                    v
-                    for v in result.collector.metric_series(name, "velocity")
-                    if v is not None
-                ]
-                velocities[name] = sum(values) / len(values) if values else 0.0
-            rows[discipline] = (attainment, velocities)
+        for discipline, outcome in zip(
+            DISCIPLINES, run_requests(requests, jobs=JOBS)
+        ):
+            assert outcome.ok, outcome.error
+            summary = outcome.summary
+            velocities = {
+                name: summary.metric_mean(name) or 0.0
+                for name in ("class1", "class2")
+            }
+            rows[discipline] = (summary.attainment, velocities)
         return rows
 
-    rows = run_once(benchmark, sweep)
+    rows = run_once(benchmark, fan_out)
     report("")
     report("=== Ablation: within-class queue discipline ===")
     report("{:>8} | {:>8} | {:>8} | {:>8} | {:>10} | {:>10}".format(

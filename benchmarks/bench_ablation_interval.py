@@ -8,32 +8,23 @@ shortened paper workload and reports per-class goal attainment.
 
 from __future__ import annotations
 
-import dataclasses
+import os
 
 from benchmarks.conftest import run_once
-from repro.experiments.runner import run_experiment
+from repro.experiments.sensitivity import sweep
 
 INTERVALS = (30.0, 60.0, 120.0)
-
-
-def _attainments(config):
-    result = run_experiment(controller="qs", config=config)
-    return result.goal_attainment()
+JOBS = min(len(INTERVALS), os.cpu_count() or 1)
 
 
 def test_control_interval_sweep(benchmark, report, ablation_config):
-    def sweep():
-        rows = {}
-        for interval in INTERVALS:
-            config = ablation_config.with_updates(
-                planner=dataclasses.replace(
-                    ablation_config.planner, control_interval=interval
-                )
-            )
-            rows[interval] = _attainments(config)
-        return rows
-
-    rows = run_once(benchmark, sweep)
+    rows = dict(run_once(
+        benchmark,
+        lambda: sweep(
+            "planner.control_interval", INTERVALS,
+            controller="qs", config=ablation_config, jobs=JOBS,
+        ),
+    ))
     report("")
     report("=== Ablation: control interval vs goal attainment ===")
     report("{:>14} | {:>8} | {:>8} | {:>8}".format(

@@ -9,28 +9,23 @@ effectiveness depends on estimate quality.
 
 from __future__ import annotations
 
-import dataclasses
+import os
 
 from benchmarks.conftest import run_once
-from repro.experiments.runner import run_experiment
+from repro.experiments.sensitivity import sweep
 
 SIGMAS = (0.0, 0.1, 0.3, 0.6)
+JOBS = min(len(SIGMAS), os.cpu_count() or 1)
 
 
 def test_cost_noise_sweep(benchmark, report, ablation_config):
-    def sweep():
-        rows = {}
-        for sigma in SIGMAS:
-            config = ablation_config.with_updates(
-                optimizer=dataclasses.replace(
-                    ablation_config.optimizer, noise_sigma=sigma
-                )
-            )
-            result = run_experiment(controller="qs", config=config)
-            rows[sigma] = result.goal_attainment()
-        return rows
-
-    rows = run_once(benchmark, sweep)
+    rows = dict(run_once(
+        benchmark,
+        lambda: sweep(
+            "optimizer.noise_sigma", SIGMAS,
+            controller="qs", config=ablation_config, jobs=JOBS,
+        ),
+    ))
     report("")
     report("=== Ablation: optimizer noise (sigma) vs goal attainment ===")
     report("{:>8} | {:>8} | {:>8} | {:>8}".format("sigma", "class1", "class2", "class3"))

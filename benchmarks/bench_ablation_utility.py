@@ -10,26 +10,23 @@ most brittle because its search surface is nearly flat below goal.
 
 from __future__ import annotations
 
-import dataclasses
+import os
 
 from benchmarks.conftest import run_once
-from repro.experiments.runner import run_experiment
+from repro.experiments.sensitivity import sweep
 
 FAMILIES = ("piecewise", "sigmoid", "step")
+JOBS = min(len(FAMILIES), os.cpu_count() or 1)
 
 
 def test_utility_family_sweep(benchmark, report, ablation_config):
-    def sweep():
-        rows = {}
-        for family in FAMILIES:
-            config = ablation_config.with_updates(
-                planner=dataclasses.replace(ablation_config.planner, utility=family)
-            )
-            result = run_experiment(controller="qs", config=config)
-            rows[family] = result.goal_attainment()
-        return rows
-
-    rows = run_once(benchmark, sweep)
+    rows = dict(run_once(
+        benchmark,
+        lambda: sweep(
+            "planner.utility", FAMILIES,
+            controller="qs", config=ablation_config, jobs=JOBS,
+        ),
+    ))
     report("")
     report("=== Ablation: utility family vs goal attainment ===")
     report("{:>12} | {:>8} | {:>8} | {:>8}".format("family", "class1", "class2", "class3"))

@@ -7,6 +7,9 @@ a shortened paper workload:
 2. how sensitive is goal attainment to the thrashing knee's position
    (i.e. to how well the system cost limit was calibrated)?
 
+Both sweeps fan their runs over worker processes (``jobs=None`` = one per
+CPU); the results are identical to a serial run, just faster.
+
 Run with:  python examples/sensitivity_analysis.py
 """
 
@@ -32,7 +35,7 @@ def main() -> None:
     print("sweeping planner.control_interval ...")
     intervals = sweep(
         "planner.control_interval", [30.0, 60.0, 120.0],
-        controller="qs", config=config,
+        controller="qs", config=config, jobs=None,
     )
     print(format_sweep("planner.control_interval", intervals, class_names))
     print()
@@ -40,7 +43,7 @@ def main() -> None:
     print("sweeping overload.knee_cost ...")
     knees = sweep(
         "overload.knee_cost", [18_000.0, 26_000.0, 34_000.0],
-        controller="qs", config=config,
+        controller="qs", config=config, jobs=None,
     )
     print(format_sweep("overload.knee_cost", knees, class_names))
     print()

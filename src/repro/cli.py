@@ -6,9 +6,13 @@ Subcommands::
     python -m repro calibrate  # throughput-vs-system-cost-limit sweep
     python -m repro figure     # regenerate one of the paper's figures
     python -m repro trace      # run the Query Scheduler, dump telemetry JSONL
+    python -m repro replicate  # multi-seed controller comparison (--jobs N)
+    python -m repro sweep      # config-field sensitivity sweep (--jobs N)
 
 Every command prints the same ASCII tables the benchmark harness uses, so
 the CLI is the quickest way to poke at the system without writing code.
+``replicate`` and ``sweep`` fan their runs over worker processes with
+``--jobs`` (0 = one per CPU); results are identical at any worker count.
 """
 
 from __future__ import annotations
@@ -34,6 +38,16 @@ from repro.metrics.report import (
     format_summary,
     render_series_chart,
 )
+
+
+def _sweep_value(text: str):
+    """Parse one ``sweep --values`` token: int, then float, then string."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
 
 
 def _build_config(args: argparse.Namespace):
@@ -113,6 +127,70 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                     counts["in_flight"],
                 )
             )
+    return 0
+
+
+def _progress_printer(args: argparse.Namespace):
+    """A run_requests progress hook printing one stderr line per run."""
+    if args.quiet:
+        return None
+
+    def progress(outcome, done, total):
+        status = "ok" if outcome.ok else "FAILED"
+        print(
+            "[{}/{}] {} {}".format(done, total, outcome.request.describe(), status),
+            file=sys.stderr,
+        )
+
+    return progress
+
+
+def _jobs_arg(args: argparse.Namespace):
+    """Map the CLI convention (0 = one worker per CPU) onto the API's None."""
+    return None if args.jobs == 0 else args.jobs
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.experiments.replication import compare, format_comparison
+
+    config = _build_config(args)
+    summaries = compare(
+        args.controllers,
+        seeds=args.seeds,
+        config=config,
+        jobs=_jobs_arg(args),
+        progress=_progress_printer(args),
+    )
+    class_names = sorted(
+        {name for summary in summaries.values() for name in summary.per_class}
+    )
+    print(format_comparison(summaries, class_names))
+    failures = sum(len(summary.errors) for summary in summaries.values())
+    if failures:
+        print(
+            "{} of {} runs failed".format(
+                failures, len(args.controllers) * len(args.seeds)
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import format_sweep, sweep
+
+    config = _build_config(args)
+    entries = sweep(
+        args.path,
+        args.values,
+        controller=args.controller,
+        config=config,
+        jobs=_jobs_arg(args),
+        progress=_progress_printer(args),
+    )
+    class_names = sorted({name for _, attainment in entries for name in attainment})
+    print(format_sweep(args.path, entries, class_names))
     return 0
 
 
@@ -233,6 +311,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print prediction-error and accounting summaries",
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    def _experiment_scale_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--periods", type=int, default=9)
+        p.add_argument("--period-seconds", type=float, default=120.0)
+        p.add_argument("--control-interval", type=float, default=60.0)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the run fan-out (0 = one per CPU)",
+        )
+        p.add_argument(
+            "--quiet", action="store_true",
+            help="suppress per-run progress lines on stderr",
+        )
+
+    rep_parser = sub.add_parser(
+        "replicate",
+        help="compare controllers across seeds (paired multi-seed runs)",
+    )
+    rep_parser.add_argument(
+        "--controllers", nargs="+", choices=CONTROLLER_NAMES,
+        default=["none", "qp", "qs"],
+    )
+    rep_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[7, 21, 42],
+    )
+    _experiment_scale_args(rep_parser)
+    rep_parser.set_defaults(func=_cmd_replicate)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="re-run an experiment per value of a config field"
+    )
+    sweep_parser.add_argument(
+        "path", help="dotted config path, e.g. planner.control_interval"
+    )
+    sweep_parser.add_argument(
+        "--values", nargs="+", required=True, type=_sweep_value,
+        help="values to sweep (numbers are auto-converted)",
+    )
+    sweep_parser.add_argument("--controller", choices=CONTROLLER_NAMES, default="qs")
+    _experiment_scale_args(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     cal_parser = sub.add_parser("calibrate", help="throughput vs system cost limit")
     cal_parser.add_argument(

@@ -36,6 +36,15 @@ class WorkloadError(ReproError):
     """A workload definition is invalid (unknown template, empty mix, ...)."""
 
 
+class ExperimentError(ReproError):
+    """An experiment run failed to execute.
+
+    Raised by harnesses that cannot tolerate a partial batch (e.g. a
+    configuration sweep, where a missing point would silently skew the
+    curve); the message carries the failing run's error and traceback.
+    """
+
+
 class PatrollerError(ReproError):
     """The Query Patroller substrate was driven through an illegal transition.
 

@@ -20,8 +20,17 @@ from repro.experiments.figures import (
     figure6,
     figure7,
 )
+from repro.experiments.parallel import (
+    RunOutcome,
+    RunRequest,
+    RunSummary,
+    execute_request,
+    run_requests,
+    summarize_result,
+)
 from repro.experiments.replication import (
     ReplicationSummary,
+    RunFailure,
     compare,
     format_comparison,
     replicate,
@@ -52,6 +61,13 @@ __all__ = [
     "compare",
     "format_comparison",
     "ReplicationSummary",
+    "RunFailure",
+    "RunRequest",
+    "RunSummary",
+    "RunOutcome",
+    "run_requests",
+    "execute_request",
+    "summarize_result",
     "sweep",
     "format_sweep",
     "set_config_field",

@@ -5,6 +5,13 @@ run-to-run variance: :func:`replicate` re-runs an experiment across seeds
 and aggregates per-class attainment and goal-metric means, and
 :func:`compare` does that for several controllers on the *same* seeds so
 differences are paired, not confounded by workload randomness.
+
+Both fan their runs out through :mod:`repro.experiments.parallel`: pass
+``jobs=4`` (or ``jobs=None`` for one worker per CPU) and the seeds run in
+worker processes instead of back-to-back.  Results are aggregated in seed
+order regardless of completion order, so the summaries are bitwise
+identical at any worker count.  A run that crashes becomes a
+:class:`RunFailure` entry on its summary instead of killing the batch.
 """
 
 from __future__ import annotations
@@ -14,7 +21,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import SimulationConfig, default_config
 from repro.core.service_class import ServiceClass
-from repro.experiments.runner import run_experiment
+from repro.experiments.parallel import (
+    ProgressCallback,
+    RunOutcome,
+    RunRequest,
+    run_requests,
+)
 from repro.sim.stats import WelfordAccumulator
 from repro.workloads.schedule import PeriodSchedule
 
@@ -38,6 +50,14 @@ class ClassReplicationStats:
         }
 
 
+@dataclass(frozen=True)
+class RunFailure:
+    """One seed's failure within a replication batch."""
+
+    seed: int
+    error: str
+
+
 @dataclass
 class ReplicationSummary:
     """Aggregated outcome of one controller across seeds."""
@@ -45,6 +65,8 @@ class ReplicationSummary:
     controller: str
     seeds: List[int]
     per_class: Dict[str, ClassReplicationStats]
+    #: Seeds whose run crashed (isolated; they contribute no aggregates).
+    errors: List[RunFailure] = field(default_factory=list)
 
     def attainment_mean(self, class_name: str) -> float:
         """Mean across-seed attainment of a class."""
@@ -55,40 +77,75 @@ class ReplicationSummary:
         return self.per_class[class_name].attainment.stddev
 
 
+def _seed_requests(
+    controller: str,
+    seeds: Sequence[int],
+    base: SimulationConfig,
+    schedule: Optional[PeriodSchedule],
+    classes: Optional[List[ServiceClass]],
+) -> List[RunRequest]:
+    """One request per seed, in seed order."""
+    return [
+        RunRequest(
+            controller=controller,
+            config=base.with_updates(seed=int(seed)),
+            schedule=schedule,
+            classes=tuple(classes) if classes is not None else None,
+            label="{}:seed={}".format(controller, int(seed)),
+        )
+        for seed in seeds
+    ]
+
+
+def _aggregate(
+    controller: str,
+    seeds: Sequence[int],
+    outcomes: Sequence[RunOutcome],
+) -> ReplicationSummary:
+    """Fold outcomes (already in seed order) into a summary."""
+    per_class: Dict[str, ClassReplicationStats] = {}
+    errors: List[RunFailure] = []
+    for seed, outcome in zip(seeds, outcomes):
+        if not outcome.ok:
+            errors.append(RunFailure(seed=int(seed), error=outcome.error))
+            continue
+        summary = outcome.summary
+        for name in summary.class_names:
+            stats = per_class.setdefault(name, ClassReplicationStats(name))
+            stats.attainment.add(summary.attainment[name])
+            mean = summary.metric_mean(name)
+            if mean is not None:
+                stats.metric_mean.add(mean)
+    return ReplicationSummary(
+        controller=controller,
+        seeds=list(seeds),
+        per_class=per_class,
+        errors=errors,
+    )
+
+
 def replicate(
     controller: str,
     seeds: Sequence[int],
     config: Optional[SimulationConfig] = None,
     schedule: Optional[PeriodSchedule] = None,
     classes: Optional[List[ServiceClass]] = None,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
 ) -> ReplicationSummary:
-    """Run one controller across several seeds and aggregate."""
+    """Run one controller across several seeds and aggregate.
+
+    ``jobs`` fans the seeds over worker processes (``1`` = serial,
+    ``None`` = one per CPU); aggregates are identical at any worker
+    count.  A crashed seed lands in ``summary.errors`` instead of
+    raising.
+    """
     if not seeds:
         raise ValueError("replicate needs at least one seed")
     base = (config or default_config()).validate()
-    per_class: Dict[str, ClassReplicationStats] = {}
-    for seed in seeds:
-        result = run_experiment(
-            controller=controller,
-            config=base.with_updates(seed=int(seed)),
-            schedule=schedule,
-            classes=classes,
-        )
-        for service_class in result.classes:
-            stats = per_class.setdefault(
-                service_class.name, ClassReplicationStats(service_class.name)
-            )
-            stats.attainment.add(result.collector.goal_attainment(service_class))
-            values = [
-                v
-                for v in result.collector.performance_series(service_class)
-                if v is not None
-            ]
-            if values:
-                stats.metric_mean.add(sum(values) / len(values))
-    return ReplicationSummary(
-        controller=controller, seeds=list(seeds), per_class=per_class
-    )
+    requests = _seed_requests(controller, seeds, base, schedule, classes)
+    outcomes = run_requests(requests, jobs=jobs, progress=progress)
+    return _aggregate(controller, seeds, outcomes)
 
 
 def compare(
@@ -97,14 +154,28 @@ def compare(
     config: Optional[SimulationConfig] = None,
     schedule: Optional[PeriodSchedule] = None,
     classes: Optional[List[ServiceClass]] = None,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, ReplicationSummary]:
-    """Replicate several controllers over the same seeds (paired design)."""
-    return {
-        controller: replicate(
-            controller, seeds, config=config, schedule=schedule, classes=classes
-        )
-        for controller in controllers
-    }
+    """Replicate several controllers over the same seeds (paired design).
+
+    The full controller x seed cross-product is fanned out in one batch,
+    so ``jobs=4`` keeps four workers busy across the whole comparison
+    rather than parallelizing one controller at a time.
+    """
+    if not seeds:
+        raise ValueError("compare needs at least one seed")
+    seeds = list(seeds)
+    base = (config or default_config()).validate()
+    requests: List[RunRequest] = []
+    for controller in controllers:
+        requests.extend(_seed_requests(controller, seeds, base, schedule, classes))
+    outcomes = run_requests(requests, jobs=jobs, progress=progress)
+    summaries: Dict[str, ReplicationSummary] = {}
+    for position, controller in enumerate(controllers):
+        chunk = outcomes[position * len(seeds):(position + 1) * len(seeds)]
+        summaries[controller] = _aggregate(controller, seeds, chunk)
+    return summaries
 
 
 def format_comparison(
@@ -129,4 +200,10 @@ def format_comparison(
                     stats.attainment.mean, stats.attainment.stddev
                 )
         lines.append(row)
+        for failure in summary.errors:
+            lines.append(
+                "{:>12} |  seed {} FAILED: {}".format(
+                    "", failure.seed, failure.error.strip().splitlines()[-1]
+                )
+            )
     return "\n".join(lines)

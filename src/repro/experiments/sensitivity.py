@@ -11,13 +11,16 @@ top-level ``"system_cost_limit"``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SimulationConfig, default_config
 from repro.core.service_class import ServiceClass
-from repro.errors import ConfigurationError
-from repro.experiments.runner import run_experiment
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.parallel import ProgressCallback, RunRequest, run_requests
 from repro.workloads.schedule import PeriodSchedule
+
+#: One sweep point: the swept value and its per-class goal attainment.
+SweepEntry = Tuple[object, Dict[str, float]]
 
 
 def set_config_field(
@@ -73,41 +76,69 @@ def sweep(
     config: Optional[SimulationConfig] = None,
     schedule: Optional[PeriodSchedule] = None,
     classes: Optional[List[ServiceClass]] = None,
-) -> Dict:
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> List[SweepEntry]:
     """Run the experiment once per value of the addressed field.
 
-    Returns ``{value: {class_name: attainment}}`` in input order.
+    Returns ordered ``(value, {class_name: attainment})`` entries, one per
+    input value in input order.  Entries are positional, not keyed, so
+    duplicate values each get their own entry and unhashable values (e.g.
+    a list-typed field) are fine.  Every configuration is built and
+    validated up front, so a bad value raises :class:`ConfigurationError`
+    before any simulation runs; a run that crashes mid-sweep raises
+    :class:`ExperimentError` naming the failing value (a silently missing
+    point would skew the curve).
+
+    ``jobs`` fans the points over worker processes (``1`` = serial,
+    ``None`` = one per CPU) without changing the results.
     """
+    values = list(values)
     if not values:
         raise ConfigurationError("sweep needs at least one value")
     base = (config or default_config()).validate()
-    results: Dict = {}
-    for value in values:
-        run_config = set_config_field(base, dotted_path, value)
-        result = run_experiment(
+    requests = [
+        RunRequest(
             controller=controller,
-            config=run_config,
+            config=set_config_field(base, dotted_path, value),
             schedule=schedule,
-            classes=classes,
+            classes=tuple(classes) if classes is not None else None,
+            label="{}={!r}".format(dotted_path, value),
         )
-        results[value] = result.goal_attainment()
-    return results
+        for value in values
+    ]
+    outcomes = run_requests(requests, jobs=jobs, progress=progress)
+    entries: List[SweepEntry] = []
+    for value, outcome in zip(values, outcomes):
+        if not outcome.ok:
+            raise ExperimentError(
+                "sweep of {!r} failed at value {!r}:\n{}".format(
+                    dotted_path, value, outcome.error
+                )
+            )
+        entries.append((value, outcome.summary.attainment))
+    return entries
 
 
 def format_sweep(
     dotted_path: str,
-    results: Dict,
+    results: Union[Sequence[SweepEntry], Dict],
     class_names: Sequence[str],
 ) -> str:
-    """ASCII table of a :func:`sweep` outcome."""
+    """ASCII table of a :func:`sweep` outcome.
+
+    Accepts the ordered ``(value, attainment)`` entries :func:`sweep`
+    returns (or a legacy ``{value: attainment}`` mapping).
+    """
+    entries = results.items() if isinstance(results, dict) else results
     lines = []
     header = "{:>24} |".format(dotted_path) + "".join(
         " {:>8} |".format(name) for name in class_names
     )
     lines.append(header)
     lines.append("-" * len(header))
-    for value, attainment in results.items():
-        row = "{:>24} |".format(value)
+    for value, attainment in entries:
+        row = "{:>24} |".format(str(value))
         for name in class_names:
             share = attainment.get(name)
             row += " {:>7.0%} |".format(share) if share is not None else " {:>8} |".format("-")

@@ -151,7 +151,14 @@ class TimeWeightedValue:
         return self._value
 
     def average(self, now: float) -> float:
-        """Time-weighted average over [start, now]; 0.0 on an empty span."""
+        """Time-weighted average over [start, now].
+
+        On an empty span (``now <= start``, e.g. immediately after
+        :meth:`reset`) the average degenerates to the current value — the
+        limit of the average as the span shrinks to zero — so a caller
+        sampling right at a reset boundary sees the live signal rather
+        than a spurious zero.
+        """
         span = now - self._start_time
         if span <= 0:
             return self._value
@@ -169,7 +176,12 @@ class Histogram:
     """Fixed-bin histogram over [low, high) with overflow/underflow bins.
 
     Percentile queries interpolate linearly inside the selected bin, which is
-    plenty for latency-distribution reporting.
+    plenty for latency-distribution reporting.  The true observed minimum
+    and maximum are tracked exactly, so ``percentile(0)`` / ``percentile(100)``
+    return the real data extremes even when mass sits in the underflow or
+    overflow bins, and percentiles landing in those open-ended bins
+    interpolate against the tracked extreme instead of being clamped to the
+    bin edge.
     """
 
     def __init__(self, low: float, high: float, bins: int = 64) -> None:
@@ -185,10 +197,16 @@ class Histogram:
         self.underflow = 0
         self.overflow = 0
         self.count = 0
+        self.min_value = math.inf
+        self.max_value = -math.inf
 
     def add(self, value: float) -> None:
         """Record one observation."""
         self.count += 1
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
         if value < self.low:
             self.underflow += 1
             return
@@ -202,21 +220,35 @@ class Histogram:
         self._counts[index] += 1
 
     def percentile(self, q: float) -> float:
-        """Approximate the q-th percentile (q in [0, 100])."""
+        """Approximate the q-th percentile (q in [0, 100]).
+
+        ``percentile(0)`` and ``percentile(100)`` are exact: the smallest
+        and largest observation ever recorded.
+        """
         if not 0 <= q <= 100:
             raise ValueError("percentile q must be in [0, 100]")
         if self.count == 0:
             return 0.0
+        if q == 0:
+            return self.min_value
+        if q == 100:
+            return self.max_value
         target = self.count * q / 100.0
         cumulative = float(self.underflow)
         if cumulative >= target:
-            return self.low
+            # Inside the underflow mass: interpolate over [min, low).
+            fraction = target / self.underflow
+            return self.min_value + fraction * (self.low - self.min_value)
         for index, bucket in enumerate(self._counts):
             if cumulative + bucket >= target and bucket > 0:
                 fraction = (target - cumulative) / bucket
                 return self.low + (index + fraction) * self._width
             cumulative += bucket
-        return self.high
+        if self.overflow:
+            # Inside the overflow mass: interpolate over [high, max].
+            fraction = (target - cumulative) / self.overflow
+            return self.high + fraction * (self.max_value - self.high)
+        return self.max_value
 
     def counts(self) -> List[int]:
         """Per-bin counts (excludes under/overflow)."""

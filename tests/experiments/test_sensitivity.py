@@ -58,7 +58,7 @@ class TestFieldAccess:
 
 
 class TestSweep:
-    def test_sweep_runs_per_value(self):
+    def test_sweep_runs_per_value_in_order(self):
         schedule = constant_schedule(20.0, 2, {"class1": 2, "class2": 2, "class3": 5})
         results = sweep(
             "optimizer.noise_sigma",
@@ -67,18 +67,41 @@ class TestSweep:
             config=tiny_config(),
             schedule=schedule,
         )
-        assert list(results) == [0.0, 0.4]
-        for attainment in results.values():
+        assert [value for value, _ in results] == [0.0, 0.4]
+        for _, attainment in results:
             assert set(attainment) == {"class1", "class2", "class3"}
+
+    def test_sweep_duplicate_values_keep_separate_entries(self):
+        schedule = constant_schedule(20.0, 2, {"class1": 2, "class2": 2, "class3": 5})
+        results = sweep(
+            "optimizer.noise_sigma",
+            [0.2, 0.2],
+            controller="none",
+            config=tiny_config(),
+            schedule=schedule,
+        )
+        assert [value for value, _ in results] == [0.2, 0.2]
+        # Same config, same seed: the duplicate entries agree but both exist.
+        assert results[0][1] == results[1][1]
 
     def test_sweep_requires_values(self):
         with pytest.raises(ConfigurationError):
             sweep("seed", [], config=tiny_config())
 
+    def test_sweep_rejects_bad_value_before_running(self):
+        with pytest.raises(ConfigurationError):
+            sweep("optimizer.noise_sigma", [0.1, -1.0], config=tiny_config())
+
     def test_format_sweep_table(self):
-        results = {10.0: {"a": 0.5, "b": 1.0}, 20.0: {"a": 0.75, "b": 0.25}}
+        results = [(10.0, {"a": 0.5, "b": 1.0}), (20.0, {"a": 0.75, "b": 0.25})]
         text = format_sweep("some.path", results, ["a", "b"])
         assert "some.path" in text
         assert "50%" in text and "75%" in text
-        missing = format_sweep("p", {1: {"a": 0.5}}, ["a", "zz"])
+        missing = format_sweep("p", [(1, {"a": 0.5})], ["a", "zz"])
         assert "-" in missing
+
+    def test_format_sweep_accepts_legacy_dict_and_unhashable_values(self):
+        legacy = format_sweep("p", {1: {"a": 0.5}}, ["a"])
+        assert "50%" in legacy
+        unhashable = format_sweep("p", [([1, 2], {"a": 0.5})], ["a"])
+        assert "[1, 2]" in unhashable

@@ -110,6 +110,19 @@ class TestTimeWeightedValue:
         signal.reset(2.0)
         assert signal.average(4.0) == pytest.approx(4.0)
 
+    def test_reset_then_average_on_empty_span_returns_current_value(self):
+        # Documented contract: an empty span degenerates to the current
+        # value (the limit of the average as the span shrinks), not 0.0.
+        signal = TimeWeightedValue()
+        signal.update(2.0, 4.0)
+        signal.reset(5.0)
+        assert signal.average(5.0) == 4.0
+        assert signal.current == 4.0
+
+    def test_empty_span_before_any_update_returns_initial(self):
+        signal = TimeWeightedValue(initial=3.0, start_time=1.0)
+        assert signal.average(1.0) == 3.0
+
 
 class TestHistogram:
     def test_counts_and_percentiles(self):
@@ -145,6 +158,50 @@ class TestHistogram:
         hist = Histogram(0.0, 1.0, bins=4)
         hist.add(1.0)
         assert hist.overflow == 1
+
+    def test_percentile_zero_returns_true_minimum(self):
+        # Regression: percentile(0) used to return `low` even when every
+        # observation sat well above it (target == 0 tripped the
+        # underflow check).
+        hist = Histogram(0.0, 10.0, bins=10)
+        hist.add(3.7)
+        hist.add(8.0)
+        assert hist.percentile(0) == 3.7
+
+    def test_percentile_hundred_returns_true_maximum_with_overflow(self):
+        # Regression: percentile(100) used to clamp to `high` whenever any
+        # mass sat in the overflow bin.
+        hist = Histogram(0.0, 10.0, bins=10)
+        hist.add(1.0)
+        hist.add(25.0)
+        assert hist.percentile(100) == 25.0
+        assert hist.percentile(0) == 1.0
+
+    def test_extremes_with_underflow_mass(self):
+        hist = Histogram(10.0, 20.0, bins=5)
+        hist.add(2.0)  # underflow
+        hist.add(15.0)
+        assert hist.percentile(0) == 2.0
+        assert hist.percentile(100) == 15.0
+
+    def test_interior_percentiles_interpolate_open_ended_bins(self):
+        hist = Histogram(10.0, 20.0, bins=5)
+        for value in (2.0, 4.0, 6.0, 8.0):  # all underflow
+            hist.add(value)
+        # Interior percentiles stay within the observed range instead of
+        # being clamped to the `low` edge above every observation.
+        assert 2.0 <= hist.percentile(50) <= 10.0
+        hist = Histogram(0.0, 1.0, bins=4)
+        for value in (5.0, 6.0, 7.0, 8.0):  # all overflow
+            hist.add(value)
+        assert 1.0 <= hist.percentile(50) <= 8.0
+
+    def test_percentile_extremes_without_over_or_underflow_are_exact(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        for value in (1.25, 4.5, 9.75):
+            hist.add(value)
+        assert hist.percentile(0) == 1.25
+        assert hist.percentile(100) == 9.75
 
 
 def test_welford_is_finite_under_many_identical_values():

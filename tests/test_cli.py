@@ -157,3 +157,55 @@ def test_report_command(tmp_path, capsys, monkeypatch):
     with open(path) as handle:
         text = handle.read()
     assert "Generated experiment report" in text
+
+
+def test_replicate_command_serial(capsys):
+    code = main([
+        "replicate", "--controllers", "none", "--seeds", "1", "2",
+    ] + FAST_RUN)
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "controller" in captured.out
+    assert "none" in captured.out
+    # Progress lines land on stderr, one per run.
+    assert "[1/2]" in captured.err
+    assert "[2/2]" in captured.err
+
+
+def test_replicate_command_parallel_matches_serial(capsys):
+    serial_code = main([
+        "replicate", "--controllers", "none", "--seeds", "1", "2", "--quiet",
+    ] + FAST_RUN)
+    serial_out = capsys.readouterr().out
+    parallel_code = main([
+        "replicate", "--controllers", "none", "--seeds", "1", "2",
+        "--jobs", "2", "--quiet",
+    ] + FAST_RUN)
+    parallel_out = capsys.readouterr().out
+    assert serial_code == parallel_code == 0
+    assert serial_out == parallel_out
+
+
+def test_replicate_rejects_unknown_controller():
+    with pytest.raises(SystemExit):
+        main(["replicate", "--controllers", "chaos"] + FAST_RUN)
+
+
+def test_sweep_command(capsys):
+    code = main([
+        "sweep", "optimizer.noise_sigma", "--values", "0.0", "0.2",
+        "--controller", "none", "--jobs", "2", "--quiet",
+    ] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "optimizer.noise_sigma" in out
+    assert "class3" in out
+
+
+def test_sweep_rejects_unknown_field(capsys):
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        main([
+            "sweep", "planner.warp_speed", "--values", "1", "--quiet",
+        ] + FAST_RUN)
