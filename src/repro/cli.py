@@ -6,6 +6,7 @@ Subcommands::
     python -m repro calibrate  # throughput-vs-system-cost-limit sweep
     python -m repro figure     # regenerate one of the paper's figures
     python -m repro trace      # run the Query Scheduler, dump telemetry JSONL
+    python -m repro check      # run with the invariant harness in strict mode
     python -m repro replicate  # multi-seed controller comparison (--jobs N)
     python -m repro sweep      # config-field sensitivity sweep (--jobs N)
 
@@ -66,7 +67,9 @@ def _build_config(args: argparse.Namespace):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    result = run_experiment(controller=args.controller, config=config)
+    result = run_experiment(
+        controller=args.controller, config=config, invariants=args.invariants
+    )
     if args.output:
         from repro.metrics.export import save_result
 
@@ -88,12 +91,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
             [c.name for c in result.classes],
             title="Class cost limits (period means, timerons)",
         ))
+    harness = result.extras.get("validation")
+    if harness is not None:
+        print()
+        print(_format_harness_summary(harness))
     return 0
+
+
+def _format_harness_summary(harness) -> str:
+    """One block summarising a run's invariant checks."""
+    lines = [
+        "Invariants ({} registered, {} checks, mode={}):".format(
+            len(harness.registry), harness.checks_run, harness.mode
+        )
+    ]
+    if not harness.violations:
+        lines.append("  no violations")
+    for violation in harness.violations:
+        lines.append("  " + violation.describe())
+    return "\n".join(lines)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    result = run_experiment(controller=args.controller, config=config)
+    result = run_experiment(
+        controller=args.controller, config=config, invariants=args.invariants
+    )
     store = result.extras.get("telemetry")
     if store is None:
         print(
@@ -119,15 +142,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for name, counts in sorted(store.dispatcher_balance().items()):
             print(
                 "  {:<10} released={:<6} completed={:<6} cancelled={:<6} "
-                "in_flight={}".format(
+                "in_flight={:<6} queue_cancelled={}".format(
                     name,
                     counts["released"],
                     counts["completed"],
                     counts["cancelled"],
                     counts["in_flight"],
+                    counts["queue_cancelled"],
                 )
             )
+        harness = result.extras.get("validation")
+        if harness is not None:
+            print()
+            print(_format_harness_summary(harness))
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.errors import InvariantViolation
+    from repro.experiments.runner import build_bundle, make_controller
+    from repro.validation import ControlLoopWorld, core_invariants
+
+    config = _build_config(args)
+    if args.list:
+        bundle = build_bundle(config=config)
+        make_controller(bundle, args.controller)
+        registry = core_invariants(ControlLoopWorld.from_bundle(bundle))
+        for invariant in registry:
+            print("{:<32} {:<8} {}".format(
+                invariant.name, invariant.severity.name, invariant.message
+            ))
+        return 0
+    try:
+        result = run_experiment(
+            controller=args.controller, config=config, invariants=args.mode
+        )
+    except InvariantViolation as violation:
+        print("invariant violated: {}".format(violation), file=sys.stderr)
+        return 1
+    harness = result.extras["validation"]
+    print(_format_harness_summary(harness))
+    return 1 if harness.violations else 0
 
 
 def _progress_printer(args: argparse.Namespace):
@@ -290,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="write results to a .json or .csv file",
     )
+    run_parser.add_argument(
+        "--invariants", choices=("off", "warn", "strict"), default="off",
+        help="runtime invariant checking at every control interval",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     trace_parser = sub.add_parser(
@@ -310,7 +369,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary", action="store_true",
         help="also print prediction-error and accounting summaries",
     )
+    trace_parser.add_argument(
+        "--invariants", choices=("off", "warn", "strict"), default="warn",
+        help="runtime invariant checking (violations ride in the JSONL)",
+    )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="run a seeded simulation under the runtime invariant harness",
+    )
+    check_parser.add_argument(
+        "--controller", choices=("qs", "qs_detect"), default="qs"
+    )
+    check_parser.add_argument("--periods", type=int, default=3)
+    check_parser.add_argument("--period-seconds", type=float, default=60.0)
+    check_parser.add_argument("--control-interval", type=float, default=30.0)
+    check_parser.add_argument("--seed", type=int, default=7)
+    check_parser.add_argument(
+        "--mode", choices=("warn", "strict"), default="strict",
+        help="warn records violations; strict fails fast on the first",
+    )
+    check_parser.add_argument(
+        "--list", action="store_true",
+        help="print the registered invariants and exit without running",
+    )
+    check_parser.set_defaults(func=_cmd_check)
 
     def _experiment_scale_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--periods", type=int, default=9)

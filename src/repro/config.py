@@ -139,6 +139,10 @@ class MonitorConfig:
     snapshot_interval: float = 10.0
     velocity_window: float = 120.0  # seconds of OLAP completions per estimate
     response_time_window: float = 60.0  # seconds of OLTP snapshots per estimate
+    #: How long a class's last measurement stays usable as a fallback once
+    #: its sample windows run dry.  Past this age the Monitor reports None
+    #: instead of feeding the solver an arbitrarily stale value.
+    max_measurement_age: float = 300.0
 
     def validate(self) -> None:
         if self.snapshot_interval <= 0:
@@ -147,6 +151,8 @@ class MonitorConfig:
             raise ConfigurationError("velocity_window must be positive")
         if self.response_time_window <= 0:
             raise ConfigurationError("response_time_window must be positive")
+        if self.max_measurement_age <= 0:
+            raise ConfigurationError("max_measurement_age must be positive")
 
 
 @dataclass(frozen=True)

@@ -51,10 +51,12 @@ class _ClassState:
         "queue",
         "in_flight_cost",
         "in_flight_count",
-        "in_flight_ids",
+        "in_flight",
+        "enqueued",
         "released",
         "completed",
         "cancelled",
+        "queue_cancelled",
     )
 
     def __init__(self, service_class: ServiceClass) -> None:
@@ -62,19 +64,26 @@ class _ClassState:
         self.queue: List[Query] = []
         self.in_flight_cost = 0.0
         self.in_flight_count = 0
-        #: Ids of the queries this dispatcher released and not yet retired —
+        #: The queries this dispatcher released and not yet retired, by id —
         #: the ground truth the cost/count pair must always agree with.
-        self.in_flight_ids: Set[int] = set()
+        self.in_flight: Dict[int, Query] = {}
+        self.enqueued = 0
         self.released = 0
         self.completed = 0
         self.cancelled = 0
+        self.queue_cancelled = 0
+
+    @property
+    def in_flight_ids(self) -> Set[int]:
+        """Ids of the released-but-unretired queries."""
+        return set(self.in_flight)
 
     def retire(self, query: Query) -> None:
         """Drop a released query from the in-flight accounting."""
-        self.in_flight_ids.discard(query.query_id)
+        self.in_flight.pop(query.query_id, None)
         self.in_flight_cost -= query.estimated_cost
         self.in_flight_count -= 1
-        if not self.in_flight_ids:
+        if not self.in_flight:
             # Snap residual float drift so an idle class is exactly zero.
             self.in_flight_cost = 0.0
             self.in_flight_count = 0
@@ -146,6 +155,28 @@ class Dispatcher:
         """Total released queries of the class cancelled before completion."""
         return self._state(class_name).cancelled
 
+    def enqueued_count(self, class_name: str) -> int:
+        """Total queries of the class ever placed in its queue."""
+        return self._state(class_name).enqueued
+
+    def queue_cancelled_count(self, class_name: str) -> int:
+        """Total queries of the class cancelled while still queued.
+
+        Queue-level cancels never consume in-flight budget, so they are
+        counted separately from :meth:`cancelled_count` (post-release
+        cancels); without this counter QP cancel storms would be invisible
+        in telemetry.
+        """
+        return self._state(class_name).queue_cancelled
+
+    def in_flight_queries(self, class_name: str) -> List[Query]:
+        """The class's released-but-unfinished queries (a copy).
+
+        The validation harness checks this ground-truth set against the
+        incremental cost/count accounting and the engine's running set.
+        """
+        return list(self._state(class_name).in_flight.values())
+
     def _state(self, class_name: str) -> _ClassState:
         state = self._states.get(class_name)
         if state is None:
@@ -177,6 +208,7 @@ class Dispatcher:
                 "interception".format(query.class_name)
             )
         state.queue.append(query)
+        state.enqueued += 1
         self._release_eligible_for(state)
 
     # ------------------------------------------------------------------
@@ -205,14 +237,39 @@ class Dispatcher:
 
         return min(range(len(queue)), key=aged_cost)
 
+    def _find_fitting_aged(
+        self, state: _ClassState, limit: float
+    ) -> Optional[int]:
+        """Next-best aged candidate that fits under the limit (aging only).
+
+        Under "aging" the min-aged-cost query can be costlier than another
+        queued query that would fit; stopping at the selected query would
+        stall the whole class behind it (head-of-line blocking), so the
+        remaining candidates are scanned in aged-cost order for one that
+        fits.  FIFO keeps strict arrival order and SJF's selected query is
+        already the cheapest, so neither needs (or gets) the scan.
+        """
+        now = self.patroller.sim.now
+
+        def aged_cost(index: int) -> float:
+            query = state.queue[index]
+            waited = now - (query.queue_time if query.queue_time is not None else now)
+            return query.estimated_cost - _AGING_RATE * waited
+
+        for index in sorted(range(len(state.queue)), key=aged_cost):
+            if state.in_flight_cost + state.queue[index].estimated_cost <= limit:
+                return index
+        return None
+
     def _release_eligible_for(self, state: _ClassState) -> int:
-        # Purge abandoned queries once per call (QP cancel); drop silently.
+        # Purge abandoned queries once per call (QP cancel), counting them
+        # so queue-level cancellations stay visible in telemetry.
         # Cancellations arrive through _on_cancellation between calls, so no
         # new tombstones can appear while the release loop below runs.
         if any(q.state == QueryState.CANCELLED for q in state.queue):
-            state.queue = [
-                q for q in state.queue if q.state != QueryState.CANCELLED
-            ]
+            live = [q for q in state.queue if q.state != QueryState.CANCELLED]
+            state.queue_cancelled += len(state.queue) - len(live)
+            state.queue = live
         limit = self._limit_for(state)
         released = 0
         while state.queue:
@@ -224,11 +281,16 @@ class Dispatcher:
                 fits = state.in_flight_cost + query.estimated_cost <= limit
                 alone = state.in_flight_count == 0
                 if not fits and not alone:
-                    break
+                    if self.discipline != "aging":
+                        break
+                    index = self._find_fitting_aged(state, limit)
+                    if index is None:
+                        break
+                    query = state.queue[index]
             state.queue.pop(index)
             state.in_flight_cost += query.estimated_cost
             state.in_flight_count += 1
-            state.in_flight_ids.add(query.query_id)
+            state.in_flight[query.query_id] = query
             state.released += 1
             self.patroller.release(query)
             released += 1
@@ -245,7 +307,7 @@ class Dispatcher:
         state = self._states.get(query.class_name)
         if state is None or not state.service_class.directly_controlled:
             return
-        if query.query_id not in state.in_flight_ids:
+        if query.query_id not in state.in_flight:
             # Completion of a query this dispatcher never released (e.g. a
             # different controller ran earlier in the same engine) — ignore.
             return
@@ -265,7 +327,7 @@ class Dispatcher:
         state = self._states.get(query.class_name)
         if state is None or not state.service_class.directly_controlled:
             return
-        if query.query_id in state.in_flight_ids:
+        if query.query_id in state.in_flight:
             state.retire(query)
             state.cancelled += 1
             self._release_eligible_for(state)
@@ -273,4 +335,5 @@ class Dispatcher:
         for index, queued in enumerate(state.queue):
             if queued.query_id == query.query_id:
                 state.queue.pop(index)
+                state.queue_cancelled += 1
                 break

@@ -116,6 +116,25 @@ class Monitor:
         """Intercepted queries not yet completed."""
         return len(self._open)
 
+    def open_snapshot(self) -> List[Query]:
+        """The intercepted-and-unfinished queries (a copy).
+
+        Read-only view for the validation harness: every entry must be a
+        submitted query that has not yet completed or been cancelled.
+        """
+        return list(self._open.values())
+
+    def retained_measurement(self, class_name: str) -> Optional[ClassMeasurement]:
+        """The class's retained last measurement, without re-measuring.
+
+        Unlike :meth:`measure` this performs no window eviction, no
+        in-flight blending, and no fallback bookkeeping — it is a pure read
+        used by the validation harness and diagnostics.
+        """
+        if class_name not in self._classes:
+            raise SchedulingError("monitor knows no class {!r}".format(class_name))
+        return self._last_measurement.get(class_name)
+
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------
@@ -157,7 +176,13 @@ class Monitor:
     # Measurements
     # ------------------------------------------------------------------
     def measure(self, class_name: str) -> Optional[ClassMeasurement]:
-        """Current measurement for a class (None if nothing observed yet)."""
+        """Current measurement for a class (None if nothing observed yet).
+
+        When the class's sample windows are empty the last measurement is
+        returned as a fallback, but only while it is younger than
+        ``config.max_measurement_age`` — an idle class must not keep feeding
+        the solver an arbitrarily old value forever.
+        """
         service_class = self._classes.get(class_name)
         if service_class is None:
             raise SchedulingError("monitor knows no class {!r}".format(class_name))
@@ -168,7 +193,15 @@ class Monitor:
         if measurement is not None:
             self._last_measurement[class_name] = measurement
             return measurement
-        return self._last_measurement.get(class_name)
+        retained = self._last_measurement.get(class_name)
+        if retained is None:
+            return None
+        if self.sim.now - retained.measured_at > self.config.max_measurement_age:
+            # Too stale to stand in for a live measurement; drop it so the
+            # planner treats the class as unmeasured (at-goal) instead.
+            del self._last_measurement[class_name]
+            return None
+        return retained
 
     def measure_all(self) -> Dict[str, ClassMeasurement]:
         """Measurements for every class that has one."""

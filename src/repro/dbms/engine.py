@@ -78,6 +78,14 @@ class DatabaseEngine:
         """Total statements completed since the start of the run."""
         return self._completed
 
+    def executing_snapshot(self) -> List[Query]:
+        """The statements currently executing (a copy).
+
+        Read-only view for the validation harness, which checks the
+        engine's running set against the dispatcher's in-flight accounting.
+        """
+        return list(self._executing.values())
+
     def executing_cost(self, class_name: Optional[str] = None) -> float:
         """Summed *estimated* cost of executing statements (optionally of
         one class) — the quantity cost-limit policies reason about."""

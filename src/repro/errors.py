@@ -45,6 +45,16 @@ class ExperimentError(ReproError):
     """
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant over the live control loop does not hold.
+
+    Raised by the validation harness in strict mode when a registered
+    :class:`~repro.validation.Invariant` of severity ERROR or above fails —
+    the controller's internal accounting has drifted from the engine's
+    ground truth (exactly the class of bug a closed control loop masks).
+    """
+
+
 class PatrollerError(ReproError):
     """The Query Patroller substrate was driven through an illegal transition.
 

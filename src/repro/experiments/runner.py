@@ -27,6 +27,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.patroller.patroller import QueryPatroller
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.validation import attach_harness
 from repro.workloads.client import ClosedLoopClient
 from repro.workloads.schedule import ClientPoolManager, PeriodSchedule, paper_schedule
 from repro.workloads.spec import QueryFactory, WorkloadMix
@@ -234,12 +235,25 @@ def run_experiment(
     schedule: Optional[PeriodSchedule] = None,
     classes: Optional[List[ServiceClass]] = None,
     static_olap_limit: Optional[float] = None,
+    invariants: str = "off",
 ) -> ExperimentResult:
-    """Run one full scheduled experiment under the named controller."""
+    """Run one full scheduled experiment under the named controller.
+
+    ``invariants`` selects the runtime validation mode: ``"off"`` (no
+    harness), ``"warn"`` (check at every control interval, record
+    violations into telemetry) or ``"strict"`` (additionally raise
+    :class:`~repro.errors.InvariantViolation` on the first ERROR-or-worse
+    violation).  The attached harness rides along in
+    ``result.extras["validation"]``.
+    """
     bundle = build_bundle(config=config, schedule=schedule, classes=classes)
     built = make_controller(bundle, controller, static_olap_limit=static_olap_limit)
     if isinstance(built, QueryScheduler):  # covers qs and qs_detect
         built.planner.add_plan_listener(bundle.collector.on_plan)
+    # The harness attaches after the telemetry and collector listeners so a
+    # check at an interval boundary sees the interval's record already
+    # written (and can embed its violations there).
+    harness = attach_harness(bundle, mode=invariants)
     built.start()
     bundle.manager.start()
     bundle.run()
@@ -253,4 +267,6 @@ def run_experiment(
     )
     if isinstance(built, QueryScheduler):
         result.extras["telemetry"] = built.telemetry.store
+    if harness is not None:
+        result.extras["validation"] = harness
     return result

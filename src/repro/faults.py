@@ -1,0 +1,288 @@
+"""Fault injection for the control loop.
+
+:class:`FaultInjector` perturbs a running :class:`SimulationBundle` in two
+deliberately different ways:
+
+* **Behavioral faults** are legitimate-but-hostile workload events driven
+  through the public APIs — cancel storms, arrival bursts, release-latency
+  jitter.  A correct controller must absorb these with its invariants
+  intact; tests use them to show the accounting fixes hold under stress.
+* **State corruptions** are white-box mutations of component internals —
+  a leaked dispatcher slot, an undersumming plan, a completed query stuck
+  in the monitor's open set.  Each models a specific historical bug class
+  and exists to prove the matching invariant actually fires; reaching into
+  private state is the point, not an accident.
+
+Every injection is appended to :attr:`FaultInjector.injected` so tests can
+correlate violations with their seeded faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.dbms.query import Query, QueryState
+from repro.errors import SchedulingError
+
+
+class FaultInjector:
+    """Injects faults into an assembled experiment bundle.
+
+    Behavioral faults accept a ``delay`` (seconds from now; 0 applies
+    immediately), so storms and bursts can be planted before ``run()``.
+    State corruptions always apply immediately — they model drift that has
+    already happened.
+    """
+
+    def __init__(self, bundle: "SimulationBundle") -> None:  # noqa: F821
+        self.bundle = bundle
+        self.sim = bundle.sim
+        self.engine = bundle.engine
+        self.patroller = bundle.patroller
+        self.factory = bundle.factory
+        controller = bundle.controller
+        self.dispatcher = getattr(controller, "dispatcher", None)
+        self.monitor = getattr(controller, "monitor", None)
+        self.planner = getattr(controller, "planner", None)
+        #: Log of every injection: {"fault": name, "time": when, **params}.
+        self.injected: List[Dict] = []
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _log(self, fault: str, **params) -> None:
+        entry = {"fault": fault, "time": self.sim.now}
+        entry.update(params)
+        self.injected.append(entry)
+
+    def _at(self, delay: float, action: Callable[[], None], label: str) -> None:
+        if delay <= 0:
+            action()
+        else:
+            self.sim.schedule(delay, action, label="fault:{}".format(label))
+
+    def _need_dispatcher(self) -> "Dispatcher":  # noqa: F821
+        if self.dispatcher is None:
+            raise SchedulingError("bundle's controller has no dispatcher to fault")
+        return self.dispatcher
+
+    def _need_monitor(self) -> "Monitor":  # noqa: F821
+        if self.monitor is None:
+            raise SchedulingError("bundle's controller has no monitor to fault")
+        return self.monitor
+
+    # ------------------------------------------------------------------
+    # Behavioral faults (public-API driven)
+    # ------------------------------------------------------------------
+    def cancel_storm(
+        self,
+        class_name: Optional[str] = None,
+        fraction: float = 1.0,
+        delay: float = 0.0,
+    ) -> None:
+        """Cancel a fraction of every (or one) class queue through QP.
+
+        Models a user or admin abandoning a pile of waiting statements at
+        once — the event that historically exposed queue-accounting leaks.
+        """
+        dispatcher = self._need_dispatcher()
+
+        def storm() -> None:
+            cancelled = 0
+            for name, state in dispatcher._states.items():
+                if class_name is not None and name != class_name:
+                    continue
+                if not state.service_class.directly_controlled:
+                    continue
+                victims = list(state.queue)
+                victims = victims[: max(1, int(len(victims) * fraction))] if victims else []
+                for query in victims:
+                    if self.patroller.cancel(query):
+                        cancelled += 1
+            self._log("cancel_storm", class_name=class_name, cancelled=cancelled)
+
+        self._at(delay, storm, "cancel_storm")
+
+    def arrival_burst(
+        self,
+        class_name: str,
+        count: int,
+        delay: float = 0.0,
+    ) -> None:
+        """Submit ``count`` extra queries of a class in the same instant.
+
+        Stresses the release loop and conservation accounting with a
+        thundering herd the schedule never planned for.
+        """
+        mix = self.bundle.mixes.get(class_name)
+        if mix is None:
+            raise SchedulingError("no workload mix for class {!r}".format(class_name))
+
+        def burst() -> None:
+            for index in range(count):
+                query = self.factory.create(
+                    mix, class_name, client_id="fault:burst:{}".format(index)
+                )
+                self.patroller.submit(query)
+            self._log("arrival_burst", class_name=class_name, count=count)
+
+        self._at(delay, burst, "arrival_burst")
+
+    def release_latency_jitter(
+        self,
+        release_latency: float,
+        delay: float = 0.0,
+    ) -> None:
+        """Change QP's release latency mid-run.
+
+        Widens (or collapses) the window in which released queries are
+        neither queued nor executing — the window cancel-after-release
+        bugs live in.
+        """
+
+        def jitter() -> None:
+            self.patroller.config = dataclasses.replace(
+                self.patroller.config, release_latency=release_latency
+            )
+            self._log("release_latency_jitter", release_latency=release_latency)
+
+        self._at(delay, jitter, "release_latency_jitter")
+
+    def drop_completions(
+        self,
+        count: int = 1,
+        component: str = "dispatcher",
+        class_name: Optional[str] = None,
+        delay: float = 0.0,
+    ) -> None:
+        """Silently swallow the next ``count`` completion callbacks.
+
+        Models a lost engine notification: the component keeps carrying a
+        statement that already finished.  ``component`` picks whose
+        listener is wrapped (``"dispatcher"`` or ``"monitor"``);
+        ``class_name`` restricts the drops to one class's completions (by
+        default any completion counts, including bypassing OLTP traffic the
+        component may not even track).
+        """
+        if component == "dispatcher":
+            target = self._need_dispatcher()._on_completion
+        elif component == "monitor":
+            target = self._need_monitor()._on_completion
+        else:
+            raise SchedulingError(
+                "unknown component {!r}; expected 'dispatcher' or 'monitor'".format(
+                    component
+                )
+            )
+
+        def install() -> None:
+            listeners = self.engine._listeners
+            try:
+                index = listeners.index(target)
+            except ValueError:
+                raise SchedulingError(
+                    "{} completion listener not subscribed to the engine".format(
+                        component
+                    )
+                )
+            remaining = {"count": count}
+
+            def dropping(query: Query) -> None:
+                if remaining["count"] > 0 and (
+                    class_name is None or query.class_name == class_name
+                ):
+                    remaining["count"] -= 1
+                    return
+                target(query)
+
+            listeners[index] = dropping
+            self._log(
+                "drop_completions",
+                component=component,
+                count=count,
+                class_name=class_name,
+            )
+
+        self._at(delay, install, "drop_completions")
+
+    # ------------------------------------------------------------------
+    # State corruptions (white-box, immediate)
+    # ------------------------------------------------------------------
+    def leak_dispatcher_slot(self, class_name: str, cost: float = 500.0) -> None:
+        """Inflate a class's in-flight cost with no query behind it.
+
+        The exact signature of the historical accounting leak: budget
+        consumed forever, releases throttled, nothing to retire.  Trips
+        ``dispatcher_in_flight_consistent``.
+        """
+        state = self._need_dispatcher()._state(class_name)
+        state.in_flight_cost += cost
+        state.in_flight_count += 1
+        self._log("leak_dispatcher_slot", class_name=class_name, cost=cost)
+
+    def corrupt_plan(self, mode: str = "undersum", amount: float = 5_000.0) -> None:
+        """Damage the active plan in place, bypassing plan validation.
+
+        ``"undersum"`` strands ``amount`` timerons below the system limit
+        (trips ``plan_spends_system_limit``); ``"negative"`` drives one
+        class limit below zero (trips ``plan_limits_nonnegative``).
+        """
+        plan = self._need_dispatcher().plan
+        name = next(iter(plan))
+        if mode == "undersum":
+            plan._limits[name] = max(0.0, plan._limits[name] - amount)
+        elif mode == "negative":
+            plan._limits[name] = -abs(amount)
+        else:
+            raise SchedulingError(
+                "unknown plan corruption {!r}; expected 'undersum' or 'negative'".format(
+                    mode
+                )
+            )
+        self._log("corrupt_plan", mode=mode, class_name=name, amount=amount)
+
+    def corrupt_monitor_open(self, class_name: str) -> None:
+        """Plant an already-completed query in the monitor's open set.
+
+        Models the stale-entry leak of an unwired cancellation/completion
+        path.  Trips ``monitor_open_is_live``.
+        """
+        monitor = self._need_monitor()
+        mix = self.bundle.mixes.get(class_name)
+        if mix is None:
+            raise SchedulingError("no workload mix for class {!r}".format(class_name))
+        query = self.factory.create(mix, class_name, client_id="fault:stale")
+        query.submit_time = self.sim.now
+        query.state = QueryState.COMPLETED
+        monitor._open[query.query_id] = query
+        self._log("corrupt_monitor_open", class_name=class_name, query_id=query.query_id)
+
+    def corrupt_velocity_sample(self, class_name: str, value: float = 1.5) -> None:
+        """Retain an out-of-range velocity measurement for a class.
+
+        Trips ``velocity_in_unit_interval``.
+        """
+        from repro.core.monitor import ClassMeasurement
+
+        monitor = self._need_monitor()
+        monitor._last_measurement[class_name] = ClassMeasurement(
+            class_name=class_name,
+            metric="velocity",
+            value=value,
+            sample_count=1,
+            measured_at=self.sim.now,
+        )
+        self._log("corrupt_velocity_sample", class_name=class_name, value=value)
+
+    def corrupt_oltp_regression(self) -> None:
+        """Zero the OLTP regression's normal equations.
+
+        The slope computation then divides by zero — exactly the kind of
+        broken internal state an invariant check must survive *and* report.
+        Trips ``oltp_slope_in_clamp_band`` through its exception path.
+        """
+        if self.planner is None or self.planner.oltp_model is None:
+            raise SchedulingError("bundle's controller has no OLTP model to fault")
+        self.planner.oltp_model._sxx = 0.0
+        self._log("corrupt_oltp_regression")

@@ -59,6 +59,15 @@ def result_to_dict(result: "ExperimentResult") -> Dict:
                 for name, summary in telemetry.prediction_error_summary().items()
             },
             "dispatcher_balance": telemetry.dispatcher_balance(),
+            "violations": telemetry.violations(),
+        }
+    harness = result.extras.get("validation")
+    if harness is not None:
+        payload["validation"] = {
+            "mode": harness.mode,
+            "checks_run": harness.checks_run,
+            "invariants": harness.registry.names,
+            "violations": [v.to_dict() for v in harness.violations],
         }
     return payload
 

@@ -119,6 +119,8 @@ class DispatcherClassTelemetry:
     completed_total: int
     cancelled_total: int
     released_this_interval: int
+    enqueued_total: int = 0
+    queue_cancelled_total: int = 0
 
     def to_dict(self) -> Dict:
         """JSON-ready representation."""
@@ -130,12 +132,21 @@ class DispatcherClassTelemetry:
             "completed_total": self.completed_total,
             "cancelled_total": self.cancelled_total,
             "released_this_interval": self.released_this_interval,
+            "enqueued_total": self.enqueued_total,
+            "queue_cancelled_total": self.queue_cancelled_total,
         }
 
 
 @dataclass(frozen=True)
 class ControlIntervalRecord:
-    """Everything the control loop saw and decided in one interval."""
+    """Everything the control loop saw and decided in one interval.
+
+    ``violations`` holds the invariant violations the validation harness
+    observed at this interval boundary (as JSON-ready dicts; empty when the
+    harness is off or the loop is consistent).  The harness appends into
+    the list after the record is created, which is why the field is a
+    mutable list on an otherwise frozen record.
+    """
 
     time: float
     interval_index: int
@@ -144,6 +155,7 @@ class ControlIntervalRecord:
     predictions: Dict[str, PredictionTelemetry]
     solver: SolverTelemetry
     dispatcher: Dict[str, DispatcherClassTelemetry]
+    violations: List[Dict] = field(default_factory=list)
 
     def to_dict(self) -> Dict:
         """Flatten into a JSON-serialisable dict (one JSONL line)."""
@@ -155,6 +167,7 @@ class ControlIntervalRecord:
             "predictions": {n: p.to_dict() for n, p in self.predictions.items()},
             "solver": self.solver.to_dict(),
             "dispatcher": {n: d.to_dict() for n, d in self.dispatcher.items()},
+            "violations": [dict(v) for v in self.violations],
         }
 
 
@@ -256,6 +269,10 @@ class TelemetryStore:
                 summary.add(prediction.error)
         return summaries
 
+    def violations(self) -> List[Dict]:
+        """All invariant-violation dicts across records, in interval order."""
+        return [v for record in self._records for v in record.violations]
+
     def dispatcher_balance(self) -> Dict[str, Dict[str, int]]:
         """Final released/completed/cancelled/in-flight counters per class.
 
@@ -272,6 +289,7 @@ class TelemetryStore:
                 "completed": d.completed_total,
                 "cancelled": d.cancelled_total,
                 "in_flight": d.in_flight_count,
+                "queue_cancelled": d.queue_cancelled_total,
             }
             for name, d in last.dispatcher.items()
         }
@@ -376,6 +394,8 @@ class ControllerTelemetry:
                 completed_total=self.dispatcher.completed_count(name),
                 cancelled_total=self.dispatcher.cancelled_count(name),
                 released_this_interval=released - self._previous_released[name],
+                enqueued_total=self.dispatcher.enqueued_count(name),
+                queue_cancelled_total=self.dispatcher.queue_cancelled_count(name),
             )
             self._previous_released[name] = released
         self.store.append(

@@ -1,0 +1,175 @@
+"""Invariants: named, severity-ranked self-consistency rules.
+
+An :class:`Invariant` is a rule that must always hold over the live control
+loop — the oracle that tells a long-running controller its internal state
+still agrees with the engine's ground truth.  Anatomy (see
+docs/VALIDATION.md for the authoring guide):
+
+========  ==============================================================
+field     purpose
+========  ==============================================================
+name      unique identifier, used in violation reports and telemetry
+check     function of the world; True = holds, False/str = violated
+message   human-readable explanation of what a violation means
+severity  how serious a violation is (WARNING / ERROR / CRITICAL)
+========  ==============================================================
+
+The ``check`` callable receives a *world* (any object exposing the live
+components — see :class:`~repro.validation.harness.ControlLoopWorld`) and
+returns ``True`` when the invariant holds.  Returning ``False`` records a
+violation with the static ``message``; returning a non-empty string records
+a violation with that string as extra detail (use it to name the class or
+quantity that disagreed).  A check that *raises* is itself a violation —
+corrupted state frequently breaks the very code that inspects it, and an
+oracle must not let that pass silently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.errors import SchedulingError
+
+
+class Severity(enum.IntEnum):
+    """How serious an invariant violation is.
+
+    ``WARNING`` marks drift worth surfacing but survivable; ``ERROR`` marks
+    state the controller cannot be trusted with; ``CRITICAL`` marks
+    corruption that invalidates the run.  Strict mode raises from ERROR up.
+    """
+
+    WARNING = 1
+    ERROR = 2
+    CRITICAL = 3
+
+
+#: What a check may return: True (holds), False (violated, use the static
+#: message) or a non-empty string (violated, with dynamic detail).
+CheckResult = Union[bool, str]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One named self-consistency rule over the live control loop."""
+
+    name: str
+    check: Callable[[object], CheckResult]
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchedulingError("an invariant needs a non-empty name")
+        if not callable(self.check):
+            raise SchedulingError(
+                "invariant {!r} needs a callable check".format(self.name)
+            )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed failure of a named invariant."""
+
+    name: str
+    message: str
+    severity: Severity
+    time: float
+    detail: Optional[str] = None
+
+    def describe(self) -> str:
+        """One human-readable line for reports and exceptions."""
+        text = "[{}] {} at t={:.1f}: {}".format(
+            self.severity.name, self.name, self.time, self.message
+        )
+        if self.detail:
+            text += " ({})".format(self.detail)
+        return text
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (embedded in telemetry records)."""
+        return {
+            "name": self.name,
+            "message": self.message,
+            "severity": self.severity.name.lower(),
+            "time": self.time,
+            "detail": self.detail,
+        }
+
+
+class InvariantRegistry:
+    """An ordered, name-unique collection of invariants."""
+
+    def __init__(self, invariants: Optional[List[Invariant]] = None) -> None:
+        self._invariants: List[Invariant] = []
+        self._names: Dict[str, Invariant] = {}
+        for invariant in invariants or []:
+            self.register(invariant)
+
+    def register(self, invariant: Invariant) -> Invariant:
+        """Add one invariant; duplicate names are rejected."""
+        if invariant.name in self._names:
+            raise SchedulingError(
+                "invariant {!r} registered twice".format(invariant.name)
+            )
+        self._invariants.append(invariant)
+        self._names[invariant.name] = invariant
+        return invariant
+
+    @property
+    def names(self) -> List[str]:
+        """Registered invariant names, in registration order."""
+        return [invariant.name for invariant in self._invariants]
+
+    def get(self, name: str) -> Invariant:
+        """Look an invariant up by name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise SchedulingError("no invariant named {!r}".format(name))
+
+    def __len__(self) -> int:
+        return len(self._invariants)
+
+    def __iter__(self) -> Iterator[Invariant]:
+        return iter(self._invariants)
+
+    def evaluate(self, world: object, now: float = 0.0) -> List[Violation]:
+        """Check every invariant against ``world``; return the violations.
+
+        A check that raises is reported as a violation of that invariant
+        (with the exception in the detail) rather than aborting the sweep:
+        the remaining invariants still run, so one corrupted subsystem
+        cannot hide drift in another.
+        """
+        violations: List[Violation] = []
+        for invariant in self._invariants:
+            try:
+                result = invariant.check(world)
+            except Exception as error:  # noqa: BLE001 - survive broken state
+                violations.append(
+                    Violation(
+                        name=invariant.name,
+                        message=invariant.message,
+                        severity=invariant.severity,
+                        time=now,
+                        detail="check raised {}: {}".format(
+                            type(error).__name__, error
+                        ),
+                    )
+                )
+                continue
+            if result is True:
+                continue
+            violations.append(
+                Violation(
+                    name=invariant.name,
+                    message=invariant.message,
+                    severity=invariant.severity,
+                    time=now,
+                    detail=result if isinstance(result, str) and result else None,
+                )
+            )
+        return violations

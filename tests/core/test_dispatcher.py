@@ -7,7 +7,7 @@ from repro.core.dispatcher import Dispatcher
 from repro.core.plan import SchedulingPlan
 from repro.core.service_class import paper_classes
 from repro.dbms.engine import DatabaseEngine
-from repro.dbms.query import CPU, Phase, Query
+from repro.dbms.query import CPU, Phase, Query, QueryState
 from repro.errors import SchedulingError
 from repro.patroller.patroller import QueryPatroller
 from repro.sim.engine import Simulator
@@ -244,3 +244,86 @@ class TestQueueDisciplines:
         # young mouse.
         assert order[0] == "blocker"
         assert order[1] == "old_big"
+
+    def test_aging_scans_past_unfitting_head(self):
+        """Regression: when the min-aged-cost query does not fit, the aging
+        discipline must try the remaining candidates instead of stalling the
+        whole class behind it (head-of-line blocking)."""
+        sim, engine, patroller, dispatcher = self._world("aging")
+        order = []
+        original = patroller.release
+        patroller.release = lambda q: (order.append(q.template), original(q))
+        blocker = make_query(4_000.0, demand=200.0)  # runs past the test
+        blocker.template = "blocker"
+        patroller.submit(blocker)
+        old_big = make_query(3_000.0, demand=0.5)  # 4000+3000 > 5000: no fit
+        old_big.template = "old_big"
+        patroller.submit(old_big)
+        sim.run_until(45.0)
+        young = make_query(800.0, demand=0.5)  # 4000+800 <= 5000: fits
+        young.template = "young_small"
+        patroller.submit(young)
+        sim.run_until(46.0)
+        # old_big's aged cost (3000 - 50*45 = 750) beats young's (800), so
+        # it is selected first — but it cannot fit while the blocker runs.
+        # Pre-fix, the release loop broke there and young never released.
+        assert order == ["blocker", "young_small"]
+        assert dispatcher.queue_length("class1") == 1
+
+    def test_fifo_head_of_line_still_blocks(self):
+        """FIFO semantics unchanged: a later query that would fit must not
+        jump an unfitting head-of-line query."""
+        sim, engine, patroller, dispatcher = self._world("fifo")
+        patroller.submit(make_query(4_000.0, demand=200.0))
+        patroller.submit(make_query(3_000.0, demand=0.5))
+        patroller.submit(make_query(800.0, demand=0.5))
+        sim.run_until(1.0)
+        assert dispatcher.in_flight_count("class1") == 1
+        assert dispatcher.queue_length("class1") == 2
+
+
+class TestQueueCancellationAccounting:
+    def test_cancelled_queued_query_counts(self):
+        sim, engine, patroller, dispatcher = make_world()
+        patroller.submit(make_query(9_000.0, demand=100.0))
+        victim = make_query(5_000.0)
+        patroller.submit(victim)
+        sim.run_until(0.1)
+        assert dispatcher.queue_length("class1") == 1
+        assert patroller.cancel(victim)
+        assert dispatcher.queue_length("class1") == 0
+        assert dispatcher.queue_cancelled_count("class1") == 1
+        # A queue-level cancel never consumed in-flight budget, so it must
+        # not count as a post-release cancellation.
+        assert dispatcher.cancelled_count("class1") == 0
+        assert dispatcher.enqueued_count("class1") == (
+            dispatcher.queue_length("class1")
+            + dispatcher.queue_cancelled_count("class1")
+            + dispatcher.released_count("class1")
+        )
+
+    def test_lazy_purge_counts_unwired_cancellations(self):
+        """Tombstones purged at release time (a cancellation path that never
+        fired the listener) must be counted too, not silently dropped."""
+        sim, engine, patroller, dispatcher = make_world()
+        patroller.submit(make_query(9_000.0, demand=100.0))
+        victim = make_query(5_000.0)
+        patroller.submit(victim)
+        sim.run_until(0.1)
+        victim.state = QueryState.CANCELLED  # no listener notification
+        dispatcher.install_plan(
+            SchedulingPlan(
+                {"class1": 10_000.0, "class2": 10_000.0, "class3": 10_000.0},
+                30_000.0,
+            )
+        )
+        assert dispatcher.queue_length("class1") == 0
+        assert dispatcher.queue_cancelled_count("class1") == 1
+
+    def test_enqueued_count_tracks_every_enqueue(self):
+        sim, engine, patroller, dispatcher = make_world()
+        for _ in range(4):
+            patroller.submit(make_query(4_000.0, demand=50.0))
+        sim.run_until(0.1)
+        assert dispatcher.enqueued_count("class1") == 4
+        assert dispatcher.enqueued_count("class2") == 0

@@ -13,13 +13,15 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 
 
-def make_world(snapshot_interval=5.0, velocity_window=60.0, rt_window=30.0):
+def make_world(snapshot_interval=5.0, velocity_window=60.0, rt_window=30.0,
+               max_measurement_age=300.0):
     sim = Simulator()
     config = default_config(
         monitor=MonitorConfig(
             snapshot_interval=snapshot_interval,
             velocity_window=velocity_window,
             response_time_window=rt_window,
+            max_measurement_age=max_measurement_age,
         ),
         patroller=PatrollerConfig(
             interception_latency=0.0, release_latency=0.0, overhead_cpu_demand=0.0
@@ -104,6 +106,39 @@ class TestVelocityMeasurement:
         second = monitor.measure("class1")
         assert second is not None
         assert second.measured_at == first.measured_at
+
+    def test_retained_measurement_expires_past_max_age(self):
+        """Regression: the last-measurement fallback must not feed the
+        solver an arbitrarily stale value forever."""
+        sim, engine, patroller, monitor = make_world(
+            velocity_window=20.0, max_measurement_age=60.0
+        )
+        run_query_with_wait(sim, engine, monitor, wait=5.0, demand=5.0)
+        sim.run()
+        first = monitor.measure("class1")
+        assert first is not None
+        sim.run_until(sim.now + 30.0)
+        assert monitor.measure("class1") is not None  # still fresh enough
+        sim.run_until(sim.now + 100.0)  # now older than max_measurement_age
+        assert monitor.measure("class1") is None
+        # The expired entry is dropped outright, not merely masked.
+        assert monitor.retained_measurement("class1") is None
+
+    def test_retained_measurement_is_a_pure_read(self):
+        sim, engine, patroller, monitor = make_world(velocity_window=20.0)
+        assert monitor.retained_measurement("class1") is None
+        run_query_with_wait(sim, engine, monitor, wait=5.0, demand=5.0)
+        sim.run()
+        first = monitor.measure("class1")
+        assert monitor.retained_measurement("class1") == first
+        with pytest.raises(SchedulingError):
+            monitor.retained_measurement("ghost")
+
+    def test_nonpositive_max_measurement_age_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(max_measurement_age=0.0).validate()
 
 
 class TestResponseTimeMeasurement:

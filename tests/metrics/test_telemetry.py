@@ -154,6 +154,7 @@ class TestTelemetryStore:
             "completed": 3,
             "cancelled": 1,
             "in_flight": 1,
+            "queue_cancelled": 0,
         }
 
 

@@ -70,6 +70,45 @@ def test_trace_rejects_non_qs_controller():
         main(["trace", "--controller", "none"] + FAST_RUN)
 
 
+def test_check_command_clean_run(capsys):
+    code = main(["check"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Invariants" in out
+    assert "no violations" in out
+    assert "mode=strict" in out
+
+
+def test_check_command_list(capsys):
+    code = main(["check", "--list"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "dispatcher_in_flight_consistent" in out
+    assert "oltp_slope_in_clamp_band" in out
+    assert "CRITICAL" in out
+
+
+def test_run_with_invariants_prints_summary(capsys):
+    code = main(["run", "--controller", "qs", "--invariants", "strict"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Invariants" in out
+    assert "no violations" in out
+
+
+def test_trace_embeds_violations_field(capsys):
+    import json
+
+    code = main(["trace", "--invariants", "warn"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    lines = [line for line in out.splitlines() if line.strip()]
+    records = [json.loads(line) for line in lines if line.startswith("{")]
+    assert records
+    assert all("violations" in record for record in records)
+    assert all(record["violations"] == [] for record in records)
+
+
 def test_calibrate_command(capsys):
     code = main([
         "calibrate", "--limits", "10000", "30000",

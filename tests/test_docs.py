@@ -26,6 +26,7 @@ def test_required_documents_exist():
         "docs/API.md",
         "docs/TUTORIAL.md",
         "docs/CALIBRATION.md",
+        "docs/VALIDATION.md",
     ):
         assert os.path.exists(os.path.join(REPO, relpath)), relpath
 

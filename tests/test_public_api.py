@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.core",
     "repro.metrics",
     "repro.experiments",
+    "repro.validation",
 ]
 
 
@@ -64,6 +65,7 @@ def test_public_classes_expose_documented_methods():
 def test_error_hierarchy_rooted_at_repro_error():
     from repro.errors import (
         ConfigurationError,
+        InvariantViolation,
         PatrollerError,
         ReproError,
         SchedulingError,
@@ -73,6 +75,7 @@ def test_error_hierarchy_rooted_at_repro_error():
 
     for error in (
         ConfigurationError,
+        InvariantViolation,
         PatrollerError,
         SchedulingError,
         SimulationError,

@@ -1,0 +1,167 @@
+"""Fault-injection tests: each core invariant fires under its seeded fault.
+
+The harness is only trustworthy if every invariant demonstrably *can* fire;
+each test seeds the one fault an invariant exists to catch and asserts the
+violation is named, while behavioral storms on the fixed accounting paths
+stay violation-free.
+"""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.faults import FaultInjector
+from repro.validation import ControlLoopWorld, ValidationHarness, attach_harness
+
+from tests.validation.conftest import make_qs_bundle
+
+
+def started_harness(bundle, mode="warn"):
+    harness = attach_harness(bundle, mode=mode)
+    bundle.controller.start()
+    bundle.manager.start()
+    return harness
+
+
+def violation_names(harness):
+    return {v.name for v in harness.violations}
+
+
+class TestCorruptionsTripTheirInvariant:
+    def test_leaked_slot_trips_in_flight_consistency(self, qs_bundle):
+        harness = started_harness(qs_bundle)
+        qs_bundle.run(horizon=5.0)
+        FaultInjector(qs_bundle).leak_dispatcher_slot("class1", cost=750.0)
+        found = harness.check()
+        assert "dispatcher_in_flight_consistent" in {v.name for v in found}
+        # The phantom slot also breaks released = in-flight + completed +
+        # cancelled, so conservation fires alongside.
+        assert "class_conservation" in {v.name for v in found}
+
+    def test_negative_plan_limit_trips_nonnegativity(self, qs_bundle):
+        harness = started_harness(qs_bundle)
+        qs_bundle.run(horizon=5.0)
+        FaultInjector(qs_bundle).corrupt_plan(mode="negative")
+        assert "plan_limits_nonnegative" in {v.name for v in harness.check()}
+
+    def test_undersumming_plan_trips_spend_check(self, qs_bundle):
+        harness = started_harness(qs_bundle)
+        qs_bundle.run(horizon=5.0)
+        FaultInjector(qs_bundle).corrupt_plan(mode="undersum", amount=9_000.0)
+        assert "plan_spends_system_limit" in {v.name for v in harness.check()}
+
+    def test_stale_open_entry_trips_monitor_liveness(self, qs_bundle):
+        harness = started_harness(qs_bundle)
+        qs_bundle.run(horizon=5.0)
+        FaultInjector(qs_bundle).corrupt_monitor_open("class1")
+        assert "monitor_open_is_live" in {v.name for v in harness.check()}
+
+    def test_out_of_range_velocity_trips_range_check(self, qs_bundle):
+        harness = started_harness(qs_bundle)
+        qs_bundle.run(horizon=5.0)
+        FaultInjector(qs_bundle).corrupt_velocity_sample("class1", value=1.5)
+        assert "velocity_in_unit_interval" in {v.name for v in harness.check()}
+
+    def test_corrupt_regression_trips_slope_check_via_exception(self, qs_bundle):
+        harness = started_harness(qs_bundle)
+        qs_bundle.run(horizon=5.0)
+        FaultInjector(qs_bundle).corrupt_oltp_regression()
+        found = harness.check()
+        slope = [v for v in found if v.name == "oltp_slope_in_clamp_band"]
+        assert slope
+        # The invariant fired through its exception path and survived.
+        assert "ZeroDivisionError" in slope[0].detail
+
+    def test_dropped_dispatcher_completion_trips_engine_agreement(self, qs_bundle):
+        harness = started_harness(qs_bundle)
+        injector = FaultInjector(qs_bundle)
+        injector.drop_completions(count=1, component="dispatcher", class_name="class1")
+        qs_bundle.run()
+        names = violation_names(harness)
+        assert "dispatcher_engine_agreement" in names
+
+    def test_dropped_monitor_completion_trips_open_liveness(self, qs_bundle):
+        harness = started_harness(qs_bundle)
+        injector = FaultInjector(qs_bundle)
+        injector.drop_completions(count=1, component="monitor", class_name="class1")
+        qs_bundle.run()
+        assert "monitor_open_is_live" in violation_names(harness)
+
+
+class TestBehavioralFaultsStayClean:
+    """The fixed accounting paths must absorb hostile-but-legal workload
+    events with every invariant intact (strict mode completes)."""
+
+    def test_cancel_storm_is_absorbed(self, qs_bundle):
+        harness = started_harness(qs_bundle, mode="strict")
+        injector = FaultInjector(qs_bundle)
+        injector.arrival_burst("class1", count=12, delay=4.0)
+        injector.cancel_storm(delay=8.0)  # cancel every queued query
+        injector.cancel_storm(class_name="class2", delay=25.0, fraction=0.5)
+        qs_bundle.run()
+        assert harness.violations == []
+        assert any(f["fault"] == "cancel_storm" for f in injector.injected)
+        # The storm actually cancelled something, and the dispatcher
+        # accounted for it at queue level.
+        cancelled = sum(
+            f.get("cancelled", 0)
+            for f in injector.injected
+            if f["fault"] == "cancel_storm"
+        )
+        dispatcher = qs_bundle.controller.dispatcher
+        queue_level = sum(
+            dispatcher.queue_cancelled_count(c.name)
+            for c in qs_bundle.classes
+            if c.directly_controlled
+        )
+        assert cancelled > 0
+        assert queue_level == cancelled
+
+    def test_release_latency_jitter_is_absorbed(self, qs_bundle):
+        harness = started_harness(qs_bundle, mode="strict")
+        injector = FaultInjector(qs_bundle)
+        injector.release_latency_jitter(2.0, delay=5.0)
+        injector.arrival_burst("class2", count=8, delay=6.0)
+        injector.release_latency_jitter(0.05, delay=30.0)
+        qs_bundle.run()
+        assert harness.violations == []
+
+    def test_injection_log_records_every_fault(self, qs_bundle):
+        started_harness(qs_bundle)
+        injector = FaultInjector(qs_bundle)
+        injector.arrival_burst("class1", count=3, delay=2.0)
+        injector.cancel_storm(delay=3.0)
+        qs_bundle.run(horizon=4.0)
+        assert [f["fault"] for f in injector.injected] == [
+            "arrival_burst",
+            "cancel_storm",
+        ]
+        assert injector.injected[0]["time"] == pytest.approx(2.0)
+
+
+class TestInjectorGuards:
+    def test_unknown_component_rejected(self, qs_bundle):
+        with pytest.raises(SchedulingError):
+            FaultInjector(qs_bundle).drop_completions(component="classifier")
+
+    def test_unknown_plan_corruption_rejected(self, qs_bundle):
+        with pytest.raises(SchedulingError):
+            FaultInjector(qs_bundle).corrupt_plan(mode="jackpot")
+
+    def test_baseline_bundle_has_no_dispatcher_to_fault(self):
+        from repro.experiments.runner import build_bundle, make_controller
+        from repro.workloads.schedule import constant_schedule
+        from tests.validation.conftest import small_config
+
+        bundle = build_bundle(
+            config=small_config(),
+            schedule=constant_schedule(30.0, 1, {"class1": 1, "class3": 1}),
+        )
+        make_controller(bundle, "none")
+        with pytest.raises(SchedulingError):
+            FaultInjector(bundle).leak_dispatcher_slot("class1")
+
+    def test_world_helper_reflects_mode_guard(self, qs_bundle):
+        with pytest.raises(SchedulingError):
+            ValidationHarness(
+                ControlLoopWorld.from_bundle(qs_bundle), mode="bogus"
+            )

@@ -1,0 +1,154 @@
+"""Tests for the validation harness wiring and modes."""
+
+import json
+
+import pytest
+
+from repro.errors import InvariantViolation, SchedulingError
+from repro.experiments.runner import run_experiment
+from repro.faults import FaultInjector
+from repro.validation import (
+    ControlLoopWorld,
+    ValidationHarness,
+    attach_harness,
+    core_invariants,
+)
+
+from tests.validation.conftest import make_qs_bundle, small_config
+
+
+class TestCleanRuns:
+    def test_strict_clean_run_has_zero_violations(self):
+        result = run_experiment(
+            controller="qs", config=small_config(), invariants="strict"
+        )
+        harness = result.extras["validation"]
+        assert harness.mode == "strict"
+        assert harness.violations == []
+        assert harness.checks_run > 0
+        assert result.extras["telemetry"].violations() == []
+
+    def test_off_mode_attaches_nothing(self):
+        result = run_experiment(
+            controller="qs", config=small_config(), invariants="off"
+        )
+        assert "validation" not in result.extras
+
+    def test_unknown_mode_rejected(self, qs_bundle):
+        with pytest.raises(SchedulingError):
+            attach_harness(qs_bundle, mode="paranoid")
+
+
+class TestWorldConstruction:
+    def test_from_bundle_sees_scheduler_components(self, qs_bundle):
+        world = ControlLoopWorld.from_bundle(qs_bundle)
+        scheduler = qs_bundle.controller
+        assert world.dispatcher is scheduler.dispatcher
+        assert world.monitor is scheduler.monitor
+        assert world.planner is scheduler.planner
+        assert world.oltp_model is scheduler.planner.oltp_model
+        assert [c.name for c in world.controlled_classes()] == ["class1", "class2"]
+
+    def test_from_scheduler_equivalent(self, qs_bundle):
+        world = ControlLoopWorld.from_scheduler(qs_bundle.controller)
+        assert world.dispatcher is qs_bundle.controller.dispatcher
+        assert world.sim is qs_bundle.sim
+
+    def test_core_suite_covers_the_named_invariants(self, qs_bundle):
+        registry = core_invariants(ControlLoopWorld.from_bundle(qs_bundle))
+        assert set(registry.names) == {
+            "dispatcher_in_flight_consistent",
+            "dispatcher_engine_agreement",
+            "plan_limits_nonnegative",
+            "plan_spends_system_limit",
+            "class_conservation",
+            "monitor_open_is_live",
+            "velocity_in_unit_interval",
+            "oltp_slope_in_clamp_band",
+        }
+
+    def test_baseline_controller_gets_reduced_suite(self):
+        from repro.experiments.runner import build_bundle, make_controller
+        from repro.workloads.schedule import constant_schedule
+
+        config = small_config()
+        bundle = build_bundle(
+            config=config,
+            schedule=constant_schedule(30.0, 1, {"class1": 1, "class3": 1}),
+        )
+        make_controller(bundle, "none")
+        registry = core_invariants(ControlLoopWorld.from_bundle(bundle))
+        assert registry.names == []  # no dispatcher, monitor or planner
+
+
+class TestModes:
+    def test_strict_mode_raises_mid_run(self, qs_bundle):
+        harness = attach_harness(qs_bundle, mode="strict")
+        injector = FaultInjector(qs_bundle)
+        qs_bundle.controller.start()
+        qs_bundle.manager.start()
+        qs_bundle.sim.schedule(
+            5.0, lambda: injector.leak_dispatcher_slot("class1")
+        )
+        with pytest.raises(InvariantViolation):
+            qs_bundle.run()
+        assert harness.violations  # recorded before raising
+
+    def test_warn_mode_records_without_raising(self, qs_bundle):
+        harness = attach_harness(qs_bundle, mode="warn")
+        injector = FaultInjector(qs_bundle)
+        qs_bundle.controller.start()
+        qs_bundle.manager.start()
+        qs_bundle.sim.schedule(
+            5.0, lambda: injector.leak_dispatcher_slot("class1")
+        )
+        qs_bundle.run()  # must not raise
+        names = {v.name for v in harness.violations}
+        assert "dispatcher_in_flight_consistent" in names
+
+    def test_off_mode_check_is_noop(self, qs_bundle):
+        world = ControlLoopWorld.from_bundle(qs_bundle)
+        harness = ValidationHarness(world, mode="off")
+        FaultInjector(qs_bundle).leak_dispatcher_slot("class1")
+        assert harness.check() == []
+        assert harness.checks_run == 0
+
+
+class TestTelemetryEmbedding:
+    def test_violations_land_in_the_interval_record(self, qs_bundle):
+        harness = attach_harness(qs_bundle, mode="warn")
+        injector = FaultInjector(qs_bundle)
+        qs_bundle.controller.start()
+        qs_bundle.manager.start()
+        # A leaked slot persists across re-plans (unlike a corrupted plan,
+        # which the next interval's fresh plan would replace), so every
+        # subsequent boundary check sees it.
+        qs_bundle.sim.schedule(
+            5.0, lambda: injector.leak_dispatcher_slot("class1")
+        )
+        qs_bundle.run()
+        store = qs_bundle.controller.telemetry.store
+        embedded = store.violations()
+        assert embedded
+        assert any(
+            v["name"] == "dispatcher_in_flight_consistent" for v in embedded
+        )
+        # And they survive the JSONL export (what `repro trace` emits).
+        rows = [json.loads(line) for line in store.to_jsonl().splitlines()]
+        assert any(row["violations"] for row in rows)
+        assert harness.violations
+
+    def test_on_demand_check_does_not_pollute_interval_records(self, qs_bundle):
+        harness = attach_harness(qs_bundle, mode="warn")
+        injector = FaultInjector(qs_bundle)
+        qs_bundle.controller.start()
+        qs_bundle.manager.start()
+        qs_bundle.run(horizon=12.0)  # past the first control interval
+        injector.leak_dispatcher_slot("class1")
+        qs_bundle.sim.run_until(13.0)
+        found = harness.check()  # between interval boundaries
+        assert found
+        # The interval record at t=10 must not carry a violation observed
+        # at t=13; it rides only in the harness log.
+        store = qs_bundle.controller.telemetry.store
+        assert store.violations() == []

@@ -1,0 +1,119 @@
+"""Unit tests for the invariant primitives (Invariant, Registry, Violation)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.validation import Invariant, InvariantRegistry, Severity, Violation
+
+
+def always_true(world):
+    return True
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.WARNING < Severity.ERROR < Severity.CRITICAL
+
+    def test_strict_threshold_is_error(self):
+        assert Severity.ERROR >= Severity.ERROR
+        assert not Severity.WARNING >= Severity.ERROR
+
+
+class TestInvariant:
+    def test_defaults_to_error_severity(self):
+        invariant = Invariant(name="x", check=always_true, message="m")
+        assert invariant.severity == Severity.ERROR
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchedulingError):
+            Invariant(name="", check=always_true, message="m")
+
+    def test_non_callable_check_rejected(self):
+        with pytest.raises(SchedulingError):
+            Invariant(name="x", check="not-callable", message="m")
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = InvariantRegistry()
+        invariant = registry.register(
+            Invariant(name="a", check=always_true, message="m")
+        )
+        assert registry.get("a") is invariant
+        assert registry.names == ["a"]
+        assert len(registry) == 1
+        assert list(registry) == [invariant]
+
+    def test_duplicate_name_rejected(self):
+        registry = InvariantRegistry(
+            [Invariant(name="a", check=always_true, message="m")]
+        )
+        with pytest.raises(SchedulingError):
+            registry.register(Invariant(name="a", check=always_true, message="m"))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SchedulingError):
+            InvariantRegistry().get("ghost")
+
+    def test_evaluate_clean(self):
+        registry = InvariantRegistry(
+            [Invariant(name="a", check=always_true, message="m")]
+        )
+        assert registry.evaluate(world=None, now=1.0) == []
+
+    def test_evaluate_false_uses_static_message(self):
+        registry = InvariantRegistry(
+            [Invariant(name="a", check=lambda w: False, message="broken")]
+        )
+        violations = registry.evaluate(world=None, now=2.0)
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.name == "a"
+        assert violation.message == "broken"
+        assert violation.detail is None
+        assert violation.time == 2.0
+
+    def test_evaluate_string_becomes_detail(self):
+        registry = InvariantRegistry(
+            [Invariant(name="a", check=lambda w: "class1 off by 3", message="m")]
+        )
+        violations = registry.evaluate(world=None)
+        assert violations[0].detail == "class1 off by 3"
+
+    def test_check_exception_is_a_violation(self):
+        def broken(world):
+            raise ZeroDivisionError("boom")
+
+        registry = InvariantRegistry(
+            [
+                Invariant(name="a", check=broken, message="m"),
+                Invariant(name="b", check=lambda w: False, message="m2"),
+            ]
+        )
+        violations = registry.evaluate(world=None, now=3.0)
+        # The raising check does not abort the sweep.
+        assert [v.name for v in violations] == ["a", "b"]
+        assert "ZeroDivisionError" in violations[0].detail
+
+
+class TestViolation:
+    def test_to_dict_is_json_ready(self):
+        violation = Violation(
+            name="a", message="m", severity=Severity.CRITICAL, time=7.0, detail="d"
+        )
+        payload = violation.to_dict()
+        assert payload == {
+            "name": "a",
+            "message": "m",
+            "severity": "critical",
+            "time": 7.0,
+            "detail": "d",
+        }
+
+    def test_describe_mentions_everything(self):
+        violation = Violation(
+            name="a", message="m", severity=Severity.WARNING, time=7.0, detail="d"
+        )
+        text = violation.describe()
+        for expected in ("WARNING", "a", "t=7.0", "m", "(d)"):
+            assert expected in text
