@@ -68,13 +68,26 @@ def _build_config(args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _build_config(args)
     result = run_experiment(
-        controller=args.controller, config=config, invariants=args.invariants
+        controller=args.controller,
+        config=config,
+        invariants=args.invariants,
+        tracing=bool(args.trace_events),
     )
     if args.output:
         from repro.metrics.export import save_result
 
         save_result(result, args.output)
         print("wrote {}".format(args.output))
+    if args.trace_events:
+        from repro.obs import save_chrome_trace
+
+        tracer = result.extras["tracer"]
+        save_chrome_trace(tracer.spans, args.trace_events)
+        print(
+            "wrote {} ({} spans, balanced={})".format(
+                args.trace_events, len(tracer.spans), tracer.balanced
+            )
+        )
     controller = result.bundle.controller
     describe = getattr(controller, "describe", None)
     if describe is not None:
@@ -151,10 +164,117 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                     counts["queue_cancelled"],
                 )
             )
+        print()
+        print(_format_overhead_summary(store.overhead_summary()))
         harness = result.extras.get("validation")
         if harness is not None:
             print()
             print(_format_harness_summary(harness))
+    return 0
+
+
+def _format_overhead_summary(summary) -> str:
+    """One block with the controller's own wall-clock cost per interval."""
+    lines = ["Controller overhead (wall-clock per control interval):"]
+    if not summary:
+        lines.append("  no overhead data recorded")
+        return "\n".join(lines)
+    for key in sorted(summary):
+        stats = summary[key]
+        lines.append(
+            "  {:<14} mean={:.6f}s max={:.6f}s over {} intervals".format(
+                key, stats["mean_s"], stats["max_s"], stats["count"]
+            )
+        )
+    return "\n".join(lines)
+
+
+def _format_span_breakdown(spans, top: int) -> str:
+    """Per-class queue-wait/phase breakdown plus the slowest waits."""
+    from repro.obs import phase_breakdown, slowest_spans
+    from repro.obs.spans import PHASES
+
+    lines = [
+        "Per-class phase breakdown (sim seconds):",
+        "  {:<10} {:<10} {:>6} {:>9} {:>9} {:>9} {:>9}".format(
+            "class", "phase", "count", "mean", "p50", "p95", "max"
+        ),
+    ]
+    breakdown = phase_breakdown(spans)
+    for class_name in sorted(breakdown):
+        by_phase = breakdown[class_name]
+        for phase in PHASES:
+            stats = by_phase.get(phase)
+            if stats is None:
+                continue
+            lines.append(
+                "  {:<10} {:<10} {:>6} {:>9.3f} {:>9.3f} {:>9.3f} {:>9.3f}".format(
+                    class_name,
+                    phase,
+                    stats.count,
+                    stats.mean,
+                    stats.percentile(50.0),
+                    stats.percentile(95.0),
+                    stats.max,
+                )
+            )
+    slowest = slowest_spans(spans, phase="queue_wait", n=top)
+    lines.append("")
+    lines.append("Top {} slowest queue waits:".format(top))
+    if not slowest:
+        lines.append("  none recorded")
+    for span in slowest:
+        lines.append(
+            "  query {:<6} class={:<10} wait={:.3f}s cost={:.0f} "
+            "period={}{}".format(
+                span.query_id,
+                span.class_name,
+                span.duration,
+                span.estimated_cost,
+                span.period,
+                " (truncated)" if span.truncated else "",
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        save_chrome_trace,
+        save_spans_jsonl,
+        load_spans,
+        validate_spans,
+    )
+
+    if args.input is not None:
+        spans = load_spans(args.input)
+        print("loaded {} spans from {}".format(len(spans), args.input))
+    else:
+        config = _build_config(args)
+        result = run_experiment(
+            controller=args.controller, config=config, tracing=True
+        )
+        tracer = result.extras["tracer"]
+        tracer.assert_balanced()
+        spans = tracer.spans
+        print(
+            "traced {} spans across {} queries (balanced)".format(
+                len(spans), len({s.query_id for s in spans})
+            )
+        )
+    problems = validate_spans(spans)
+    if problems:
+        for problem in problems:
+            print("problem: {}".format(problem), file=sys.stderr)
+        return 1
+    if args.output:
+        save_spans_jsonl(spans, args.output)
+        print("wrote {}".format(args.output))
+    if args.trace_events:
+        save_chrome_trace(spans, args.trace_events)
+        print("wrote {}".format(args.trace_events))
+    print()
+    print(_format_span_breakdown(spans, args.top))
     return 0
 
 
@@ -349,7 +469,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--invariants", choices=("off", "warn", "strict"), default="off",
         help="runtime invariant checking at every control interval",
     )
+    run_parser.add_argument(
+        "--trace-events", default=None, metavar="PATH",
+        help="trace query lifecycles, write Chrome trace-event JSON here",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    spans_parser = sub.add_parser(
+        "spans",
+        help="per-query lifecycle span breakdown (fresh traced run, or a "
+             "saved spans JSONL / trace-event JSON / directory)",
+    )
+    spans_parser.add_argument(
+        "input", nargs="?", default=None,
+        help="spans .jsonl, trace-event .json, or a directory holding one "
+             "(default: run a fresh traced experiment)",
+    )
+    spans_parser.add_argument(
+        "--controller", choices=("qs", "qs_detect"), default="qs"
+    )
+    spans_parser.add_argument("--periods", type=int, default=9)
+    spans_parser.add_argument("--period-seconds", type=float, default=120.0)
+    spans_parser.add_argument("--control-interval", type=float, default=60.0)
+    spans_parser.add_argument("--seed", type=int, default=7)
+    spans_parser.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest queue waits to list",
+    )
+    spans_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the spans as JSONL here",
+    )
+    spans_parser.add_argument(
+        "--trace-events", default=None, metavar="PATH",
+        help="also write Chrome trace-event JSON here",
+    )
+    spans_parser.set_defaults(func=_cmd_spans)
 
     trace_parser = sub.add_parser(
         "trace", help="run the Query Scheduler and export controller telemetry"

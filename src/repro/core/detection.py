@@ -140,6 +140,19 @@ class WorkloadDetector:
         self._bucket_start = self.sim.now
         self.sim.schedule(self.bucket_seconds, self._close_bucket, label="detector:bucket")
 
+    def register_instruments(self, registry: "MetricsRegistry") -> None:  # noqa: F821
+        """Publish the detector's live counters into a registry."""
+        registry.counter(
+            "detection_shifts_total",
+            description="Workload intensity shifts detected",
+            callback=lambda: len(self.shifts),
+        )
+        registry.counter(
+            "detection_buckets_total",
+            description="Detection buckets closed",
+            callback=lambda: self._buckets_seen,
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -40,11 +40,20 @@ from repro.core.service_class import ServiceClass
 from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import Query, QueryState
 from repro.errors import SchedulingError
+from repro.obs.registry import MetricsRegistry
 from repro.patroller.patroller import QueryPatroller
 
 
 class _ClassState:
-    """Dispatcher-side bookkeeping for one service class."""
+    """Dispatcher-side bookkeeping for one service class.
+
+    The monotone per-class counters (enqueued/released/completed/cancelled/
+    queue-cancelled) are registry :class:`~repro.obs.registry.Counter`
+    instruments rather than plain ints, so the same numbers that drive the
+    conservation invariants are exported through the instrument registry;
+    queue length and in-flight cost/count are published as callback gauges
+    reading this state directly.
+    """
 
     __slots__ = (
         "service_class",
@@ -59,7 +68,9 @@ class _ClassState:
         "queue_cancelled",
     )
 
-    def __init__(self, service_class: ServiceClass) -> None:
+    def __init__(
+        self, service_class: ServiceClass, registry: MetricsRegistry
+    ) -> None:
         self.service_class = service_class
         self.queue: List[Query] = []
         self.in_flight_cost = 0.0
@@ -67,11 +78,51 @@ class _ClassState:
         #: The queries this dispatcher released and not yet retired, by id —
         #: the ground truth the cost/count pair must always agree with.
         self.in_flight: Dict[int, Query] = {}
-        self.enqueued = 0
-        self.released = 0
-        self.completed = 0
-        self.cancelled = 0
-        self.queue_cancelled = 0
+        labels = {"class": service_class.name}
+        self.enqueued = registry.counter(
+            "dispatcher_enqueued_total",
+            description="Queries ever placed in a class queue",
+            labels=labels,
+        )
+        self.released = registry.counter(
+            "dispatcher_released_total",
+            description="Queries released for execution",
+            labels=labels,
+        )
+        self.completed = registry.counter(
+            "dispatcher_completed_total",
+            description="Released queries that finished execution",
+            labels=labels,
+        )
+        self.cancelled = registry.counter(
+            "dispatcher_cancelled_total",
+            description="Released queries cancelled before completion",
+            labels=labels,
+        )
+        self.queue_cancelled = registry.counter(
+            "dispatcher_queue_cancelled_total",
+            description="Queries cancelled while still queued",
+            labels=labels,
+        )
+        registry.gauge(
+            "dispatcher_queue_length",
+            description="Queries waiting for release",
+            labels=labels,
+            callback=lambda: len(self.queue),
+        )
+        registry.gauge(
+            "dispatcher_in_flight_cost",
+            description="Estimated timerons of released-but-unfinished queries",
+            unit="timerons",
+            labels=labels,
+            callback=lambda: self.in_flight_cost,
+        )
+        registry.gauge(
+            "dispatcher_in_flight_count",
+            description="Released-but-unfinished queries",
+            labels=labels,
+            callback=lambda: self.in_flight_count,
+        )
 
     @property
     def in_flight_ids(self) -> Set[int]:
@@ -101,6 +152,7 @@ class Dispatcher:
         classes: List[ServiceClass],
         initial_plan: SchedulingPlan,
         discipline: str = "fifo",
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if discipline not in DISCIPLINES:
             raise SchedulingError(
@@ -111,8 +163,11 @@ class Dispatcher:
         self.patroller = patroller
         self.engine = engine
         self.discipline = discipline
+        #: The instrument registry the per-class counters and gauges live
+        #: in; a private registry is created when none is shared in.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._states: Dict[str, _ClassState] = {
-            c.name: _ClassState(c) for c in classes
+            c.name: _ClassState(c, self.registry) for c in classes
         }
         for name in initial_plan:
             if name not in self._states:
@@ -145,19 +200,19 @@ class Dispatcher:
 
     def released_count(self, class_name: str) -> int:
         """Total queries of the class released so far."""
-        return self._state(class_name).released
+        return int(self._state(class_name).released.value)
 
     def completed_count(self, class_name: str) -> int:
         """Total released queries of the class that finished execution."""
-        return self._state(class_name).completed
+        return int(self._state(class_name).completed.value)
 
     def cancelled_count(self, class_name: str) -> int:
         """Total released queries of the class cancelled before completion."""
-        return self._state(class_name).cancelled
+        return int(self._state(class_name).cancelled.value)
 
     def enqueued_count(self, class_name: str) -> int:
         """Total queries of the class ever placed in its queue."""
-        return self._state(class_name).enqueued
+        return int(self._state(class_name).enqueued.value)
 
     def queue_cancelled_count(self, class_name: str) -> int:
         """Total queries of the class cancelled while still queued.
@@ -167,7 +222,7 @@ class Dispatcher:
         cancels); without this counter QP cancel storms would be invisible
         in telemetry.
         """
-        return self._state(class_name).queue_cancelled
+        return int(self._state(class_name).queue_cancelled.value)
 
     def in_flight_queries(self, class_name: str) -> List[Query]:
         """The class's released-but-unfinished queries (a copy).
@@ -208,7 +263,7 @@ class Dispatcher:
                 "interception".format(query.class_name)
             )
         state.queue.append(query)
-        state.enqueued += 1
+        state.enqueued.inc()
         self._release_eligible_for(state)
 
     # ------------------------------------------------------------------
@@ -268,7 +323,7 @@ class Dispatcher:
         # new tombstones can appear while the release loop below runs.
         if any(q.state == QueryState.CANCELLED for q in state.queue):
             live = [q for q in state.queue if q.state != QueryState.CANCELLED]
-            state.queue_cancelled += len(state.queue) - len(live)
+            state.queue_cancelled.inc(len(state.queue) - len(live))
             state.queue = live
         limit = self._limit_for(state)
         released = 0
@@ -291,7 +346,7 @@ class Dispatcher:
             state.in_flight_cost += query.estimated_cost
             state.in_flight_count += 1
             state.in_flight[query.query_id] = query
-            state.released += 1
+            state.released.inc()
             self.patroller.release(query)
             released += 1
         return released
@@ -312,7 +367,7 @@ class Dispatcher:
             # different controller ran earlier in the same engine) — ignore.
             return
         state.retire(query)
-        state.completed += 1
+        state.completed.inc()
         self._release_eligible_for(state)
 
     def _on_cancellation(self, query: Query) -> None:
@@ -329,11 +384,11 @@ class Dispatcher:
             return
         if query.query_id in state.in_flight:
             state.retire(query)
-            state.cancelled += 1
+            state.cancelled.inc()
             self._release_eligible_for(state)
             return
         for index, queued in enumerate(state.queue):
             if queued.query_id == query.query_id:
                 state.queue.pop(index)
-                state.queue_cancelled += 1
+                state.queue_cancelled.inc()
                 break

@@ -56,6 +56,14 @@ class DeficitAllocator:
         """Number of plans produced."""
         return self._solve_calls
 
+    def register_instruments(self, registry: "MetricsRegistry") -> None:  # noqa: F821
+        """Publish the allocator's counters into a registry."""
+        registry.counter(
+            "solver_solve_calls_total",
+            description="Plans produced by the deficit allocator",
+            callback=lambda: self._solve_calls,
+        )
+
     @staticmethod
     def deficit(status: ClassStatus) -> float:
         """How far below goal the class currently is (floored when met)."""

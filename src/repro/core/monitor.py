@@ -124,6 +124,19 @@ class Monitor:
         """
         return list(self._open.values())
 
+    def register_instruments(self, registry: "MetricsRegistry") -> None:  # noqa: F821
+        """Publish the Monitor's live state into an instrument registry."""
+        registry.gauge(
+            "monitor_open_queries",
+            description="Intercepted queries not yet completed",
+            callback=lambda: len(self._open),
+        )
+        registry.counter(
+            "monitor_snapshots_total",
+            description="OLTP snapshot-sampling rounds performed",
+            callback=lambda: self._snapshots_taken,
+        )
+
     def retained_measurement(self, class_name: str) -> Optional[ClassMeasurement]:
         """The class's retained last measurement, without re-measuring.
 

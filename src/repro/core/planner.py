@@ -25,6 +25,7 @@ from repro.core.plan import SchedulingPlan
 from repro.core.service_class import ServiceClass
 from repro.core.solver import ClassStatus, PerformanceSolver
 from repro.errors import SchedulingError
+from repro.obs.profiling import IntervalProfiler
 from repro.sim.engine import Simulator
 
 
@@ -35,7 +36,9 @@ class PlanRecord(NamedTuple):
     under the plan just installed (what the models expect the *next*
     measurement to look like); ``trigger`` distinguishes the fixed-interval
     loop from detection-driven early re-plans; ``interval_index`` counts
-    decisions from zero.
+    decisions from zero.  ``overhead`` is the real wall-clock cost of this
+    decision (``monitor_s``/``solver_s``/``dispatcher_s``/``total_s``),
+    measured with ``time.perf_counter`` — never simulated time.
     """
 
     time: float
@@ -44,6 +47,7 @@ class PlanRecord(NamedTuple):
     predictions: Dict[str, float] = {}
     trigger: str = "scheduled"
     interval_index: int = 0
+    overhead: Dict[str, float] = {}
 
 
 PlanListener = Callable[[PlanRecord], None]
@@ -85,6 +89,9 @@ class SchedulingPlanner:
         self._intervals = 0
         self._last_interval_at: Optional[float] = None
         self.early_triggers = 0
+        #: Wall-clock self-profiler; tests may replace it with one driven by
+        #: a fake clock for deterministic overhead values.
+        self.profiler = IntervalProfiler()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -103,6 +110,19 @@ class SchedulingPlanner:
     def add_plan_listener(self, listener: PlanListener) -> None:
         """Subscribe to every plan decision."""
         self._listeners.append(listener)
+
+    def register_instruments(self, registry: "MetricsRegistry") -> None:  # noqa: F821
+        """Publish the planner's decision counters into a registry."""
+        registry.counter(
+            "planner_intervals_total",
+            description="Scheduled control intervals executed",
+            callback=lambda: self._intervals,
+        )
+        registry.counter(
+            "planner_early_triggers_total",
+            description="Detection-driven early re-plans executed",
+            callback=lambda: self.early_triggers,
+        )
 
     def start(self) -> None:
         """Schedule the recurring control loop."""
@@ -144,7 +164,9 @@ class SchedulingPlanner:
         """One control-interval decision (public for tests and manual use)."""
         now = self.sim.now
         self._last_interval_at = now
-        measurements = self.monitor.measure_all()
+        self.profiler.begin()
+        with self.profiler.section("monitor"):
+            measurements = self.monitor.measure_all()
         self._update_regression(measurements)
         statuses = [
             ClassStatus(
@@ -154,8 +176,11 @@ class SchedulingPlanner:
             )
             for service_class in self.classes
         ]
-        plan = self.solver.solve(statuses, now=now)
-        self.dispatcher.install_plan(plan)
+        with self.profiler.section("solver"):
+            plan = self.solver.solve(statuses, now=now)
+        with self.profiler.section("dispatcher"):
+            self.dispatcher.install_plan(plan)
+        overhead = self.profiler.finish()
         if self._oltp_class is not None:
             self._previous_oltp = measurements.get(self._oltp_class.name)
         record = PlanRecord(
@@ -165,6 +190,7 @@ class SchedulingPlanner:
             predictions=self._predict_under(statuses, plan),
             trigger=trigger,
             interval_index=len(self.history),
+            overhead=overhead,
         )
         self.history.append(record)
         for listener in self._listeners:

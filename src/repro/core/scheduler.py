@@ -37,6 +37,7 @@ from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import Query
 from repro.errors import SchedulingError
 from repro.metrics.telemetry import ControllerTelemetry
+from repro.obs.registry import MetricsRegistry
 from repro.patroller.patroller import QueryPatroller
 from repro.sim.engine import Simulator
 
@@ -76,6 +77,10 @@ class QueryScheduler:
                 config.system_cost_limit,
                 created_at=sim.now,
             )
+        #: One instrument registry for the whole controller: the Dispatcher,
+        #: Monitor, Planner, Solver, Patroller and (optional) detector all
+        #: publish into it, and it is sampled once per plan decision.
+        self.registry = MetricsRegistry()
         self.classifier = Classifier(self.classes)
         self.dispatcher = Dispatcher(
             patroller,
@@ -83,6 +88,7 @@ class QueryScheduler:
             self.classes,
             initial_plan,
             discipline=config.planner.queue_discipline,
+            registry=self.registry,
         )
         self.monitor = Monitor(sim, engine, self.classes, config.monitor)
         if config.planner.allocator == "deficit":
@@ -121,6 +127,13 @@ class QueryScheduler:
         self.monitor.set_forward(self._classify_and_enqueue)
         patroller.set_release_handler(self.monitor.on_intercepted)
         patroller.add_cancel_listener(self.monitor.on_cancelled)
+        self.monitor.register_instruments(self.registry)
+        self.solver.register_instruments(self.registry)
+        self.planner.register_instruments(self.registry)
+        patroller.register_instruments(self.registry)
+        self.planner.add_plan_listener(
+            lambda record: self.registry.sample(record.time)
+        )
         self.detector: Optional[WorkloadDetector] = None
         self._started = False
 
@@ -141,6 +154,7 @@ class QueryScheduler:
         detector = WorkloadDetector(self.sim, self.classes, **detector_kwargs)
         self.patroller.add_submit_listener(detector.observe)
         detector.add_shift_listener(lambda event: self.planner.trigger_early())
+        detector.register_instruments(self.registry)
         self.detector = detector
         if self._started:
             detector.start()

@@ -106,6 +106,24 @@ class PerformanceSolver:
         """Candidate allocations evaluated by the most recent solve."""
         return self._last_evaluations
 
+    def register_instruments(self, registry: "MetricsRegistry") -> None:  # noqa: F821
+        """Publish the solver's search counters into a registry."""
+        registry.counter(
+            "solver_solve_calls_total",
+            description="Plans produced by the Performance Solver",
+            callback=lambda: self._solve_calls,
+        )
+        registry.counter(
+            "solver_evaluations_total",
+            description="Candidate allocations evaluated across all solves",
+            callback=lambda: self._evaluations,
+        )
+        registry.gauge(
+            "solver_last_score",
+            description="Objective score of the most recent solve",
+            callback=lambda: self._last_score if self._last_score is not None else 0.0,
+        )
+
     # ------------------------------------------------------------------
     # Prediction and objective
     # ------------------------------------------------------------------

@@ -55,6 +55,15 @@ class InvariantViolation(ReproError):
     """
 
 
+class MetricsError(ReproError):
+    """A metrics or observability query is invalid.
+
+    Examples: asking a collector for an unknown metric name, registering
+    the same instrument name under two different kinds, or incrementing a
+    callback-backed instrument.
+    """
+
+
 class PatrollerError(ReproError):
     """The Query Patroller substrate was driven through an illegal transition.
 

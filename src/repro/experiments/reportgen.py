@@ -128,14 +128,76 @@ def _telemetry_section(result: ExperimentResult) -> List[str]:
                 )
             )
         lines.append("")
+    overhead = store.overhead_summary()
+    if overhead:
+        lines.append(
+            "Controller self-overhead (wall-clock seconds per control "
+            "interval, `time.perf_counter` — not simulated time):"
+        )
+        lines.append("")
+        lines.append("| section | mean (s) | max (s) | intervals |")
+        lines.append("|---|---|---|---|")
+        for key in sorted(overhead):
+            stats = overhead[key]
+            lines.append(
+                "| {} | {:.6f} | {:.6f} | {} |".format(
+                    key, stats["mean_s"], stats["max_s"], stats["count"]
+                )
+            )
+        lines.append("")
+    return lines
+
+
+def _span_section(result: ExperimentResult) -> List[str]:
+    """Per-class queue-wait/execute percentiles from the lifecycle trace."""
+    tracer = result.extras.get("tracer")
+    if tracer is None or not tracer.spans:
+        return []
+    from repro.obs import phase_breakdown
+    from repro.obs.spans import PHASES
+
+    lines = ["## Query lifecycle spans", ""]
+    lines.append(
+        "{} spans across {} traced queries (balanced: {}).".format(
+            len(tracer.spans),
+            len({s.query_id for s in tracer.spans}),
+            tracer.balanced,
+        )
+    )
+    lines.append("")
+    lines.append("| class | phase | count | mean (s) | p50 (s) | p95 (s) | max (s) |")
+    lines.append("|---|---|---|---|---|---|---|")
+    breakdown = phase_breakdown(tracer.spans)
+    for class_name in sorted(breakdown):
+        for phase in PHASES:
+            stats = breakdown[class_name].get(phase)
+            if stats is None:
+                continue
+            lines.append(
+                "| {} | {} | {} | {:.3f} | {:.3f} | {:.3f} | {:.3f} |".format(
+                    class_name,
+                    phase,
+                    stats.count,
+                    stats.mean,
+                    stats.percentile(50.0),
+                    stats.percentile(95.0),
+                    stats.max,
+                )
+            )
+    lines.append("")
     return lines
 
 
 def generate_report(
     config: Optional[SimulationConfig] = None,
     controllers: Optional[Dict[str, str]] = None,
+    tracing: bool = False,
 ) -> str:
-    """Run the comparison experiments and return the Markdown report."""
+    """Run the comparison experiments and return the Markdown report.
+
+    With ``tracing`` the Query Scheduler run records per-query lifecycle
+    spans and the report gains a per-class wait/execute percentile section.
+    """
     config = (config or quick_report_config()).validate()
     lines: List[str] = [
         "# Generated experiment report",
@@ -149,19 +211,24 @@ def generate_report(
         ),
         "",
     ]
-    qs_result = figure6(config)
+    qs_result = figure6(config, tracing=tracing)
     lines += _result_section("No class control (Figure 4)", figure4(config))
     lines += _result_section("DB2 QP priority control (Figure 5)", figure5(config))
     lines += _result_section("Query Scheduler (Figure 6)", qs_result)
     figure7(result=qs_result)  # validates the run is a QS run
     lines += _plan_section(qs_result)
     lines += _telemetry_section(qs_result)
+    lines += _span_section(qs_result)
     return "\n".join(lines)
 
 
-def write_report(path: str, config: Optional[SimulationConfig] = None) -> str:
+def write_report(
+    path: str,
+    config: Optional[SimulationConfig] = None,
+    tracing: bool = False,
+) -> str:
     """Generate and write the report; returns the Markdown text."""
-    text = generate_report(config=config)
+    text = generate_report(config=config, tracing=tracing)
     with open(path, "w") as handle:
         handle.write(text)
     return text

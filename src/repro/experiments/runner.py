@@ -24,6 +24,7 @@ from repro.core.service_class import ServiceClass, paper_classes
 from repro.dbms.engine import DatabaseEngine
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
+from repro.obs.tracer import QueryTracer
 from repro.patroller.patroller import QueryPatroller
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
@@ -236,6 +237,7 @@ def run_experiment(
     classes: Optional[List[ServiceClass]] = None,
     static_olap_limit: Optional[float] = None,
     invariants: str = "off",
+    tracing: bool = False,
 ) -> ExperimentResult:
     """Run one full scheduled experiment under the named controller.
 
@@ -245,11 +247,23 @@ def run_experiment(
     :class:`~repro.errors.InvariantViolation` on the first ERROR-or-worse
     violation).  The attached harness rides along in
     ``result.extras["validation"]``.
+
+    ``tracing`` attaches a :class:`~repro.obs.QueryTracer` that records one
+    balanced span per query lifecycle phase; it rides along (finalised) in
+    ``result.extras["tracer"]``.
     """
     bundle = build_bundle(config=config, schedule=schedule, classes=classes)
     built = make_controller(bundle, controller, static_olap_limit=static_olap_limit)
     if isinstance(built, QueryScheduler):  # covers qs and qs_detect
         built.planner.add_plan_listener(bundle.collector.on_plan)
+    tracer = None
+    if tracing:
+        tracer = QueryTracer(
+            sim=bundle.sim,
+            patroller=bundle.patroller,
+            engine=bundle.engine,
+            schedule=bundle.schedule,
+        )
     # The harness attaches after the telemetry and collector listeners so a
     # check at an interval boundary sees the interval's record already
     # written (and can embed its violations there).
@@ -267,6 +281,10 @@ def run_experiment(
     )
     if isinstance(built, QueryScheduler):
         result.extras["telemetry"] = built.telemetry.store
+        result.extras["metrics_registry"] = built.registry
     if harness is not None:
         result.extras["validation"] = harness
+    if tracer is not None:
+        tracer.finalize()
+        result.extras["tracer"] = tracer
     return result

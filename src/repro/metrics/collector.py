@@ -15,12 +15,24 @@ from repro.core.planner import PlanRecord
 from repro.core.service_class import ServiceClass
 from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import Query
+from repro.errors import MetricsError
 from repro.sim.stats import Histogram, WelfordAccumulator
 from repro.workloads.schedule import PeriodSchedule
 
 #: Response-time histogram range for tail-latency queries (seconds).
 _RT_HISTOGRAM_RANGE = (0.0, 600.0)
 _RT_HISTOGRAM_BINS = 240
+
+#: Metric names :meth:`MetricsCollector.metric_series` understands.
+METRIC_NAMES = (
+    "velocity",
+    "response_time",
+    "execution_time",
+    "wait_time",
+    "throughput",
+    "response_p95",
+    "response_p99",
+)
 
 
 class PeriodClassMetrics:
@@ -113,8 +125,16 @@ class MetricsCollector:
         ``metric`` is one of ``velocity``, ``response_time``,
         ``execution_time``, ``wait_time`` (period means), ``throughput``
         (completions per second), or ``response_p95`` / ``response_p99``
-        (tail latency).  Periods with no completions yield None.
+        (tail latency).  Periods with no completions yield None.  An
+        unknown metric raises :class:`~repro.errors.MetricsError` naming
+        the valid choices.
         """
+        if metric not in METRIC_NAMES:
+            raise MetricsError(
+                "unknown metric {!r}; expected one of {}".format(
+                    metric, ", ".join(METRIC_NAMES)
+                )
+            )
         series: List[Optional[float]] = []
         for period in range(self.schedule.num_periods):
             cell = self._cells.get((period, class_name))

@@ -34,6 +34,15 @@ def result_to_dict(result: "ExperimentResult") -> Dict:
                 "throughput_per_period": result.collector.metric_series(
                     service_class.name, "throughput"
                 ),
+                "wait_time_per_period": result.collector.metric_series(
+                    service_class.name, "wait_time"
+                ),
+                "execution_time_per_period": result.collector.metric_series(
+                    service_class.name, "execution_time"
+                ),
+                "response_p95_per_period": result.collector.metric_series(
+                    service_class.name, "response_p95"
+                ),
             }
         )
     plans = {
@@ -60,6 +69,7 @@ def result_to_dict(result: "ExperimentResult") -> Dict:
             },
             "dispatcher_balance": telemetry.dispatcher_balance(),
             "violations": telemetry.violations(),
+            "overhead": telemetry.overhead_summary(),
         }
     harness = result.extras.get("validation")
     if harness is not None:
@@ -91,12 +101,24 @@ def result_to_csv(result: "ExperimentResult") -> str:
             "meets_goal",
             "throughput",
             "mean_plan_limit",
+            "wait_time",
+            "execution_time",
+            "response_p95",
         ]
     )
+
+    def _fmt(value: Optional[float]) -> str:
+        return "" if value is None else "{:.6f}".format(value)
+
     for service_class in result.classes:
         series = result.collector.performance_series(service_class)
         throughput = result.collector.metric_series(service_class.name, "throughput")
         plan_means = result.collector.plan_period_means(service_class.name)
+        wait = result.collector.metric_series(service_class.name, "wait_time")
+        execution = result.collector.metric_series(
+            service_class.name, "execution_time"
+        )
+        p95 = result.collector.metric_series(service_class.name, "response_p95")
         for period in range(result.schedule.num_periods):
             value = series[period]
             meets: Optional[bool] = None
@@ -108,14 +130,15 @@ def result_to_csv(result: "ExperimentResult") -> str:
                     service_class.name,
                     service_class.goal.metric,
                     service_class.goal.target,
-                    "" if value is None else "{:.6f}".format(value),
+                    _fmt(value),
                     "" if meets is None else meets,
-                    "" if throughput[period] is None else "{:.6f}".format(
-                        throughput[period]
-                    ),
+                    _fmt(throughput[period]),
                     "" if plan_means[period] is None else "{:.1f}".format(
                         plan_means[period]
                     ),
+                    _fmt(wait[period]),
+                    _fmt(execution[period]),
+                    _fmt(p95[period]),
                 ]
             )
     return buffer.getvalue()

@@ -146,6 +146,11 @@ class ControlIntervalRecord:
     harness is off or the loop is consistent).  The harness appends into
     the list after the record is created, which is why the field is a
     mutable list on an otherwise frozen record.
+
+    ``overhead`` is the controller's own wall-clock cost for this decision
+    (``monitor_s``/``solver_s``/``dispatcher_s``/``total_s`` from
+    ``time.perf_counter``) — real seconds spent computing, never simulated
+    time.
     """
 
     time: float
@@ -156,6 +161,7 @@ class ControlIntervalRecord:
     solver: SolverTelemetry
     dispatcher: Dict[str, DispatcherClassTelemetry]
     violations: List[Dict] = field(default_factory=list)
+    overhead: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         """Flatten into a JSON-serialisable dict (one JSONL line)."""
@@ -168,6 +174,7 @@ class ControlIntervalRecord:
             "solver": self.solver.to_dict(),
             "dispatcher": {n: d.to_dict() for n, d in self.dispatcher.items()},
             "violations": [dict(v) for v in self.violations],
+            "overhead": {k: _finite(v) for k, v in self.overhead.items()},
         }
 
 
@@ -272,6 +279,17 @@ class TelemetryStore:
     def violations(self) -> List[Dict]:
         """All invariant-violation dicts across records, in interval order."""
         return [v for record in self._records for v in record.violations]
+
+    def overhead_summary(self) -> Dict[str, Dict[str, float]]:
+        """Mean/max controller wall-time per overhead section across records.
+
+        Keys are the profiled section names (``monitor_s``, ``solver_s``,
+        ``dispatcher_s``, ``total_s``); empty when no record carries
+        overhead data (e.g. replayed from a pre-overhead JSONL export).
+        """
+        from repro.obs.profiling import summarize_overhead
+
+        return summarize_overhead([r.overhead for r in self._records])
 
     def dispatcher_balance(self) -> Dict[str, Dict[str, int]]:
         """Final released/completed/cancelled/in-flight counters per class.
@@ -407,5 +425,6 @@ class ControllerTelemetry:
                 predictions=predictions,
                 solver=solver_snapshot,
                 dispatcher=dispatcher_snapshot,
+                overhead=dict(record.overhead),
             )
         )

@@ -29,6 +29,18 @@ from repro.sim.events import EventHandle
 
 ReleaseHandler = Callable[[Query], None]
 CancelListener = Callable[[Query], None]
+#: Observer of lifecycle transitions: ``(event, query)`` where event is one
+#: of "submitted", "intercepted", "released", "cancelled", "rejected".
+LifecycleListener = Callable[[str, Query], None]
+
+#: Lifecycle event names emitted to lifecycle listeners, in natural order.
+LIFECYCLE_EVENTS = (
+    "submitted",
+    "intercepted",
+    "released",
+    "cancelled",
+    "rejected",
+)
 
 
 class QueryPatroller:
@@ -55,6 +67,7 @@ class QueryPatroller:
         self._bypassed_count = 0
         self._submit_listeners = []
         self._cancel_listeners: List[CancelListener] = []
+        self._lifecycle_listeners: List[LifecycleListener] = []
         engine.add_completion_listener(self._on_completion)
 
     # ------------------------------------------------------------------
@@ -93,6 +106,20 @@ class QueryPatroller:
         """
         self._cancel_listeners.append(listener)
 
+    def add_lifecycle_listener(self, listener: LifecycleListener) -> None:
+        """Observe every lifecycle transition QP performs.
+
+        Listeners receive ``(event, query)`` for each of
+        :data:`LIFECYCLE_EVENTS`.  This is the Query Tracer's subscription
+        point: unlike the control tables it fires synchronously at the
+        transition instant, so span begin/end times are exact.
+        """
+        self._lifecycle_listeners.append(listener)
+
+    def _emit(self, event: str, query: Query) -> None:
+        for listener in self._lifecycle_listeners:
+            listener(event, query)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -111,6 +138,24 @@ class QueryPatroller:
         """Total queries that went straight to the engine."""
         return self._bypassed_count
 
+    def register_instruments(self, registry: "MetricsRegistry") -> None:  # noqa: F821
+        """Publish QP's live counters into an instrument registry."""
+        registry.counter(
+            "patroller_intercepted_total",
+            description="Statements intercepted by Query Patroller",
+            callback=lambda: self._intercepted_count,
+        )
+        registry.counter(
+            "patroller_bypassed_total",
+            description="Statements that bypassed interception",
+            callback=lambda: self._bypassed_count,
+        )
+        registry.gauge(
+            "patroller_held_queries",
+            description="Statements currently intercepted and not released",
+            callback=lambda: len(self._held),
+        )
+
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------
@@ -119,6 +164,7 @@ class QueryPatroller:
         query.submit_time = self.sim.now
         for listener in self._submit_listeners:
             listener(query)
+        self._emit("submitted", query)
         if query.class_name not in self._intercepted_classes:
             self._bypassed_count += 1
             self.engine.execute(query)
@@ -149,6 +195,7 @@ class QueryPatroller:
         self._held.add(query.query_id)
         query.state = QueryState.QUEUED
         query.queue_time = self.sim.now
+        self._emit("intercepted", query)
         if self._release_handler is None:
             raise PatrollerError(
                 "query {} intercepted with no release handler installed".format(
@@ -169,6 +216,7 @@ class QueryPatroller:
         # The release decision marks the start of "running in the DBMS":
         # the release latency is execution overhead, not scheduler hold time.
         query.release_time = self.sim.now
+        self._emit("released", query)
         if self.config.release_latency > 0:
             self._pending_release[query.query_id] = self.sim.schedule(
                 self.config.release_latency,
@@ -203,6 +251,7 @@ class QueryPatroller:
         self.tables.mark_cancelled(query.query_id, self.sim.now)
         query.state = QueryState.CANCELLED
         query.finish_time = self.sim.now
+        self._emit("cancelled", query)
         for listener in self._cancel_listeners:
             listener(query)
         return True
@@ -221,6 +270,7 @@ class QueryPatroller:
         self.tables.mark_rejected(query.query_id, self.sim.now)
         query.state = QueryState.REJECTED
         query.finish_time = self.sim.now
+        self._emit("rejected", query)
         if query.on_complete is not None:
             query.on_complete(query)
 

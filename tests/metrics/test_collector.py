@@ -163,3 +163,26 @@ class TestTailLatency:
         collector = self._collector_with_rts([1.0] * 10)
         cell = collector.cell(0, "class3")
         assert cell.response_percentile(50.0) == pytest.approx(1.0, abs=0.5)
+
+
+def test_metric_series_unknown_metric_is_a_clear_error():
+    from repro.errors import MetricsError
+    from repro.metrics.collector import METRIC_NAMES
+
+    sim, engine, classes, collector = make_collector()
+    with pytest.raises(MetricsError) as err:
+        collector.metric_series("class1", "latency")
+    message = str(err.value)
+    assert "latency" in message
+    for name in METRIC_NAMES:
+        assert name in message
+
+
+def test_metric_names_constant_matches_dispatch():
+    from repro.metrics.collector import METRIC_NAMES
+
+    sim, engine, classes, collector = make_collector()
+    collector.on_completion(completed_query("class1", "olap", 0.0, 2.0, 4.0))
+    for name in METRIC_NAMES:
+        series = collector.metric_series("class1", name)
+        assert len(series) == 3  # one slot per period, no exceptions

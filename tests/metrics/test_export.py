@@ -75,3 +75,54 @@ def test_save_and_load(tmp_path, small_result):
     save_result(small_result, csv_path)
     with open(csv_path) as handle:
         assert handle.readline().startswith("period,")
+
+
+def test_dict_per_period_timing_series(small_result):
+    data = result_to_dict(small_result)
+    for block in data["classes"]:
+        for key in ("wait_time_per_period", "execution_time_per_period",
+                    "response_p95_per_period"):
+            series = block[key]
+            assert len(series) == 2
+            assert all(v is None or v >= 0.0 for v in series)
+    # The OLAP classes completed work, so the series carry real numbers.
+    class1 = data["classes"][0]
+    assert any(v is not None for v in class1["execution_time_per_period"])
+
+
+def test_dict_telemetry_overhead_summary(small_result):
+    data = result_to_dict(small_result)
+    overhead = data["telemetry"]["overhead"]
+    assert "total_s" in overhead
+    assert overhead["total_s"]["count"] == data["telemetry"]["intervals"]
+    assert overhead["total_s"]["max_s"] >= overhead["total_s"]["mean_s"] >= 0.0
+
+
+def test_csv_timing_columns_ride_at_the_end(small_result):
+    text = result_to_csv(small_result)
+    rows = list(csv.reader(io.StringIO(text)))
+    header, body = rows[0], rows[1:]
+    assert header[-3:] == ["wait_time", "execution_time", "response_p95"]
+    for row in body:
+        for cell in row[-3:]:
+            if cell:
+                assert float(cell) >= 0.0
+    # Rows with completions have an execution time.
+    populated = [row for row in body if row[-2]]
+    assert populated
+
+
+def test_csv_timing_columns_roundtrip_dict_values(small_result):
+    data = result_to_dict(small_result)
+    text = result_to_csv(small_result)
+    rows = list(csv.reader(io.StringIO(text)))
+    header = rows[0]
+    wait_col = header.index("wait_time")
+    by_key = {(row[0], row[1]): row for row in rows[1:]}
+    for block in data["classes"]:
+        for period, value in enumerate(block["wait_time_per_period"]):
+            cell = by_key[(str(period + 1), block["name"])][wait_col]
+            if value is None:
+                assert cell == ""
+            else:
+                assert float(cell) == pytest.approx(value, abs=1e-6)

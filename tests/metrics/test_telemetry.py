@@ -272,3 +272,43 @@ def test_deficit_allocator_yields_records_without_model_data():
         )
         assert record.solver.objective is None
         assert record.solver.oltp_slope is None
+
+
+class TestOverheadTelemetry:
+    def test_record_carries_overhead_dict(self):
+        record = _record()
+        assert record.overhead == {}
+        payload = record.to_dict()
+        assert payload["overhead"] == {}
+
+    def test_to_dict_sanitises_overhead_values(self):
+        record = _record()
+        record.overhead.update({"solver_s": float("nan"), "total_s": 1.5})
+        payload = json.loads(json.dumps(record.to_dict()))
+        assert payload["overhead"]["solver_s"] is None
+        assert payload["overhead"]["total_s"] == 1.5
+
+    def test_overhead_summary_aggregates_records(self):
+        store = TelemetryStore()
+        first = _record()
+        first.overhead.update({"solver_s": 1.0, "total_s": 2.0})
+        second = _record(index=1)
+        second.overhead.update({"solver_s": 3.0, "total_s": 4.0})
+        store.append(first)
+        store.append(second)
+        summary = store.overhead_summary()
+        assert summary["solver_s"]["mean_s"] == pytest.approx(2.0)
+        assert summary["solver_s"]["max_s"] == pytest.approx(3.0)
+        assert summary["total_s"]["count"] == 2
+
+    def test_live_run_records_wall_clock_overhead(self, qs_run):
+        store = qs_run.extras["telemetry"]
+        assert len(store) > 0
+        for record in store:
+            for key in ("monitor_s", "solver_s", "dispatcher_s", "total_s"):
+                assert key in record.overhead
+                assert record.overhead[key] >= 0.0
+            assert record.overhead["total_s"] >= record.overhead["solver_s"]
+            assert "overhead" in record.to_dict()
+        summary = store.overhead_summary()
+        assert summary["total_s"]["count"] == len(store)

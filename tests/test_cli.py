@@ -248,3 +248,62 @@ def test_sweep_rejects_unknown_field(capsys):
         main([
             "sweep", "planner.warp_speed", "--values", "1", "--quiet",
         ] + FAST_RUN)
+
+
+def test_run_trace_events_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "trace.json")
+    code = main(["run", "--trace-events", path] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "balanced=True" in out
+    with open(path) as handle:
+        document = json.load(handle)
+    events = document["traceEvents"]
+    assert isinstance(events, list) and events
+    assert any(event.get("ph") == "X" for event in events)
+
+
+def test_spans_command_fresh_run(capsys):
+    code = main(["spans"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "balanced" in out
+    assert "Per-class phase breakdown" in out
+    assert "queue_wait" in out
+    assert "execute" in out
+    assert "slowest queue waits" in out
+
+
+def test_spans_command_from_saved_trace(tmp_path, capsys):
+    path = str(tmp_path / "trace.json")
+    main(["run", "--trace-events", path] + FAST_RUN)
+    capsys.readouterr()
+    code = main(["spans", path])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "loaded" in out
+    assert "Per-class phase breakdown" in out
+
+
+def test_spans_command_writes_jsonl(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "spans.jsonl")
+    code = main(["spans", "--output", path] + FAST_RUN)
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    with open(path) as handle:
+        rows = [json.loads(line) for line in handle if line.strip()]
+    assert rows
+    assert {"query_id", "class", "phase", "begin", "end"} <= set(rows[0])
+
+
+def test_trace_summary_prints_controller_overhead(capsys):
+    code = main(["trace", "--summary"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Controller overhead (wall-clock per control interval):" in out
+    assert "total_s" in out
+    assert "mean=" in out and "max=" in out

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.experiments",
     "repro.validation",
+    "repro.obs",
 ]
 
 
