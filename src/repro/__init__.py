@@ -41,11 +41,13 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.experiments import (
+    ExperimentSpec,
     build_bundle,
     compare,
     fit_oltp_slope,
     replicate,
     run_experiment,
+    run_spec,
     sweep,
     sweep_system_cost_limit,
 )
@@ -70,6 +72,8 @@ __all__ = [
     "ResponseTimeGoal",
     "SchedulingPlan",
     "run_experiment",
+    "run_spec",
+    "ExperimentSpec",
     "build_bundle",
     "sweep_system_cost_limit",
     "fit_oltp_slope",

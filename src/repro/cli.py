@@ -31,6 +31,7 @@ from repro.config import (
 from repro.experiments.calibration import pick_knee_limit, sweep_system_cost_limit
 from repro.experiments.figures import figure2, figure3
 from repro.experiments.runner import CONTROLLER_NAMES, run_experiment
+from repro.runtime import BACKEND_NAMES
 from repro.metrics.report import (
     format_figure_series,
     format_period_table,
@@ -58,7 +59,7 @@ def _build_config(args: argparse.Namespace):
             period_seconds=args.period_seconds, num_periods=args.periods
         ),
         monitor=MonitorConfig(
-            snapshot_interval=10.0,
+            snapshot_interval=min(10.0, max(0.05, args.control_interval / 2.0)),
             response_time_window=max(args.control_interval / 2.0, 10.0),
         ),
         planner=PlannerConfig(control_interval=args.control_interval),
@@ -66,12 +67,25 @@ def _build_config(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    # Workload-scale defaults depend on the backend: the sim runs minutes
+    # of virtual time for free, the sqlite backend burns real wall-clock.
+    sim_defaults = (9, 120.0, 60.0)
+    sqlite_defaults = (3, 2.0, 1.0)
+    defaults = sim_defaults if args.backend == "sim" else sqlite_defaults
+    if args.periods is None:
+        args.periods = defaults[0]
+    if args.period_seconds is None:
+        args.period_seconds = defaults[1]
+    if args.control_interval is None:
+        args.control_interval = defaults[2]
     config = _build_config(args)
     result = run_experiment(
         controller=args.controller,
         config=config,
         invariants=args.invariants,
         tracing=bool(args.trace_events),
+        backend=args.backend,
+        horizon=args.horizon,
     )
     if args.output:
         from repro.metrics.export import save_result
@@ -457,9 +471,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run a controller on the paper workload")
     run_parser.add_argument("--controller", choices=CONTROLLER_NAMES, default="qs")
-    run_parser.add_argument("--periods", type=int, default=9)
-    run_parser.add_argument("--period-seconds", type=float, default=120.0)
-    run_parser.add_argument("--control-interval", type=float, default=60.0)
+    run_parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="sim",
+        help="execution backend: the discrete-event simulator, or real "
+             "SQL against in-process SQLite in wall-clock time",
+    )
+    run_parser.add_argument(
+        "--horizon", type=float, default=None, metavar="SECONDS",
+        help="stop the run at this time instead of the schedule horizon",
+    )
+    run_parser.add_argument("--periods", type=int, default=None)
+    run_parser.add_argument("--period-seconds", type=float, default=None)
+    run_parser.add_argument("--control-interval", type=float, default=None)
     run_parser.add_argument("--seed", type=int, default=7)
     run_parser.add_argument(
         "--output", default=None,

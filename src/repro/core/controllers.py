@@ -18,7 +18,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Optional, Sequence
 
 from repro.core.service_class import ServiceClass
-from repro.dbms.engine import DatabaseEngine
+from repro.runtime import ExecutionEngine
 from repro.errors import ConfigurationError
 from repro.patroller.patroller import QueryPatroller
 from repro.patroller.policy import QPStaticPolicy, standard_groups
@@ -58,7 +58,7 @@ class NoControlController(Controller):
     def __init__(
         self,
         patroller: QueryPatroller,
-        engine: DatabaseEngine,
+        engine: ExecutionEngine,
         classes: Sequence[ServiceClass],
         system_cost_limit: float,
     ) -> None:
@@ -94,7 +94,7 @@ class QPPriorityController(Controller):
     def __init__(
         self,
         patroller: QueryPatroller,
-        engine: DatabaseEngine,
+        engine: ExecutionEngine,
         classes: Sequence[ServiceClass],
         historical_costs: Sequence[float],
         static_olap_limit: float,

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
 from repro.core.service_class import ServiceClass
 from repro.dbms.query import Query
 from repro.errors import ConfigurationError
-from repro.sim.engine import Simulator
+from repro.runtime import TimerService
 
 
 class WorkloadCharacterization(NamedTuple):
@@ -80,7 +80,7 @@ class WorkloadDetector:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: TimerService,
         classes: Sequence[ServiceClass],
         bucket_seconds: float = 10.0,
         ewma_alpha: float = 0.3,

@@ -33,10 +33,9 @@ from repro.core.plan import SchedulingPlan
 from repro.core.service_class import ServiceClass
 from repro.core.solver import ClassStatus, PerformanceSolver
 from repro.core.utility import make_utility
-from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import Query
 from repro.errors import SchedulingError
-from repro.sim.engine import Simulator
+from repro.runtime import ExecutionEngine, TimerService
 from repro.sim.stats import SlidingWindow
 
 
@@ -63,7 +62,7 @@ class EngineGate:
 
     def __init__(
         self,
-        engine: DatabaseEngine,
+        engine: ExecutionEngine,
         classes: List[ServiceClass],
         initial_plan: SchedulingPlan,
     ) -> None:
@@ -183,8 +182,8 @@ class DirectScheduler:
 
     def __init__(
         self,
-        sim: Simulator,
-        engine: DatabaseEngine,
+        sim: TimerService,
+        engine: ExecutionEngine,
         classes: List[ServiceClass],
         config: SimulationConfig,
         initial_plan: Optional[SchedulingPlan] = None,

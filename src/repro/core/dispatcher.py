@@ -37,7 +37,7 @@ _AGING_RATE = 50.0
 
 from repro.core.plan import SchedulingPlan
 from repro.core.service_class import ServiceClass
-from repro.dbms.engine import DatabaseEngine
+from repro.runtime import ExecutionEngine
 from repro.dbms.query import Query, QueryState
 from repro.errors import SchedulingError
 from repro.obs.registry import MetricsRegistry
@@ -148,7 +148,7 @@ class Dispatcher:
     def __init__(
         self,
         patroller: QueryPatroller,
-        engine: DatabaseEngine,
+        engine: ExecutionEngine,
         classes: List[ServiceClass],
         initial_plan: SchedulingPlan,
         discipline: str = "fifo",

@@ -26,10 +26,9 @@ from typing import Callable, Dict, List, NamedTuple, Optional
 
 from repro.config import MonitorConfig
 from repro.core.service_class import ServiceClass
-from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import Query, QueryState
 from repro.errors import SchedulingError
-from repro.sim.engine import Simulator
+from repro.runtime import Clock, ExecutionEngine, TimerService
 from repro.sim.stats import SlidingWindow
 
 
@@ -52,13 +51,18 @@ class Monitor:
 
     def __init__(
         self,
-        sim: Simulator,
-        engine: DatabaseEngine,
+        sim: TimerService,
+        engine: ExecutionEngine,
         classes: List[ServiceClass],
         config: MonitorConfig,
+        clock: Optional[Clock] = None,
     ) -> None:
         config.validate()
         self.sim = sim
+        #: Every time *read* (staleness bounds, window eviction, measurement
+        #: stamps) goes through this clock; ``sim`` is used only to
+        #: schedule.  Injectable so backends can separate the two.
+        self.clock: Clock = clock if clock is not None else sim
         self.engine = engine
         self.config = config
         self._classes: Dict[str, ServiceClass] = {c.name: c for c in classes}
@@ -169,7 +173,7 @@ class Monitor:
 
     def _take_snapshot(self) -> None:
         self._snapshots_taken += 1
-        now = self.sim.now
+        now = self.clock.now
         # Ignore connections idle for several sampling rounds: their "last
         # statement" predates the current workload intensity.
         staleness_cutoff = now - 3.0 * self.config.snapshot_interval
@@ -209,7 +213,7 @@ class Monitor:
         retained = self._last_measurement.get(class_name)
         if retained is None:
             return None
-        if self.sim.now - retained.measured_at > self.config.max_measurement_age:
+        if self.clock.now - retained.measured_at > self.config.max_measurement_age:
             # Too stale to stand in for a live measurement; drop it so the
             # planner treats the class as unmeasured (at-goal) instead.
             del self._last_measurement[class_name]
@@ -226,7 +230,7 @@ class Monitor:
         return results
 
     def _measure_velocity(self, service_class: ServiceClass) -> Optional[ClassMeasurement]:
-        now = self.sim.now
+        now = self.clock.now
         window = self._velocity_samples[service_class.name]
         window.evict_older_than(now - self.config.velocity_window)
         values = window.values()
@@ -265,7 +269,7 @@ class Monitor:
     def _measure_response_time(
         self, service_class: ServiceClass
     ) -> Optional[ClassMeasurement]:
-        now = self.sim.now
+        now = self.clock.now
         window = self._rt_samples[service_class.name]
         # Average the snapshot samples of (roughly) one control interval.
         window.evict_older_than(now - self.config.response_time_window)

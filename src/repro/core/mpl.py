@@ -20,11 +20,10 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from repro.core.service_class import ServiceClass
-from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import Query, QueryState
 from repro.errors import ConfigurationError, SchedulingError
 from repro.patroller.patroller import QueryPatroller
-from repro.sim.engine import Simulator
+from repro.runtime import ExecutionEngine, TimerService
 
 
 class MPLController:
@@ -34,9 +33,9 @@ class MPLController:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: TimerService,
         patroller: QueryPatroller,
-        engine: DatabaseEngine,
+        engine: ExecutionEngine,
         classes: List[ServiceClass],
         initial_mpl: int = 4,
         min_mpl: int = 1,

@@ -26,7 +26,7 @@ from repro.core.service_class import ServiceClass
 from repro.core.solver import ClassStatus, PerformanceSolver
 from repro.errors import SchedulingError
 from repro.obs.profiling import IntervalProfiler
-from repro.sim.engine import Simulator
+from repro.runtime import TimerService
 
 
 class PlanRecord(NamedTuple):
@@ -58,7 +58,7 @@ class SchedulingPlanner:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: TimerService,
         monitor: Monitor,
         dispatcher: Dispatcher,
         solver: PerformanceSolver,

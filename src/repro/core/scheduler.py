@@ -33,13 +33,12 @@ from repro.core.planner import SchedulingPlanner
 from repro.core.service_class import ServiceClass
 from repro.core.solver import PerformanceSolver
 from repro.core.utility import make_utility
-from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import Query
 from repro.errors import SchedulingError
 from repro.metrics.telemetry import ControllerTelemetry
 from repro.obs.registry import MetricsRegistry
 from repro.patroller.patroller import QueryPatroller
-from repro.sim.engine import Simulator
+from repro.runtime import ExecutionEngine, TimerService
 
 
 class QueryScheduler:
@@ -49,8 +48,8 @@ class QueryScheduler:
 
     def __init__(
         self,
-        sim: Simulator,
-        engine: DatabaseEngine,
+        sim: TimerService,
+        engine: ExecutionEngine,
         patroller: QueryPatroller,
         classes: List[ServiceClass],
         config: SimulationConfig,

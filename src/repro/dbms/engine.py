@@ -28,7 +28,7 @@ from repro.dbms.overload import OverloadModel
 from repro.dbms.query import CPU, IO, Query, QueryState
 from repro.dbms.snapshot import SnapshotMonitor
 from repro.errors import SimulationError
-from repro.sim.engine import Simulator
+from repro.runtime.protocols import AdmissionGate, TimerService
 from repro.sim.resources import ProcessorSharingResource, PSJob
 from repro.sim.rng import RandomStreams
 
@@ -41,7 +41,7 @@ class DatabaseEngine:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: TimerService,
         config: SimulationConfig,
         rng: RandomStreams,
     ) -> None:
@@ -65,7 +65,7 @@ class DatabaseEngine:
         self._start_listeners: List[StartListener] = []
         self._executing: Dict[int, Query] = {}
         self._completed = 0
-        self._admission_gate: Optional["AdmissionGate"] = None
+        self._admission_gate: Optional[AdmissionGate] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -109,7 +109,7 @@ class DatabaseEngine:
         """
         self._start_listeners.append(listener)
 
-    def set_admission_gate(self, gate: Optional["AdmissionGate"]) -> None:
+    def set_admission_gate(self, gate: Optional[AdmissionGate]) -> None:
         """Install an in-engine admission gate (None to remove).
 
         This is the hook for the paper's future-work direction of

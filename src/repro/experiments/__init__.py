@@ -3,10 +3,12 @@ calibration sweep and Figures 2-7."""
 
 from repro.experiments.runner import (
     ExperimentResult,
+    ExperimentSpec,
     SimulationBundle,
     build_bundle,
     make_controller,
     run_experiment,
+    run_spec,
 )
 from repro.experiments.calibration import (
     fit_oltp_slope,
@@ -46,9 +48,11 @@ from repro.experiments.sensitivity import (
 __all__ = [
     "SimulationBundle",
     "ExperimentResult",
+    "ExperimentSpec",
     "build_bundle",
     "make_controller",
     "run_experiment",
+    "run_spec",
     "sweep_system_cost_limit",
     "fit_oltp_slope",
     "figure2",

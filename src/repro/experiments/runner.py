@@ -1,19 +1,24 @@
-"""Builds complete simulations and runs the paper's experiments.
+"""Builds complete deployments and runs the paper's experiments.
 
-The assembly order mirrors the real deployment: simulated hardware and
-engine first, Query Patroller on top, workload clients connecting through
-QP, then one *controller* — the Query Scheduler or a baseline — installed
-as QP's release handler.
+The assembly order mirrors the real deployment: an execution backend first
+(simulated hardware + engine, or the real-time SQLite engine), Query
+Patroller on top, workload clients connecting through QP, then one
+*controller* — the Query Scheduler or a baseline — installed as QP's
+release handler.
+
+Backend selection flows through ``build_bundle(backend=...)`` /
+``run_experiment(backend=...)`` / ``ExperimentSpec(backend=...)``: the
+controller stack itself only ever sees the :mod:`repro.runtime` protocols,
+so the same controller code drives both substrates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
 
 from repro.config import SimulationConfig, default_config
 from repro.core.controllers import (
-    Controller,
     NoControlController,
     QPPriorityController,
 )
@@ -21,16 +26,26 @@ from repro.core.direct import DirectScheduler
 from repro.core.mpl import MPLController
 from repro.core.scheduler import QueryScheduler
 from repro.core.service_class import ServiceClass, paper_classes
-from repro.dbms.engine import DatabaseEngine
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
 from repro.obs.tracer import QueryTracer
 from repro.patroller.patroller import QueryPatroller
-from repro.sim.engine import Simulator
+from repro.runtime import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ExecutionEngine,
+    TimerService,
+    make_backend,
+)
 from repro.sim.rng import RandomStreams
 from repro.validation import attach_harness
 from repro.workloads.client import ClosedLoopClient
-from repro.workloads.schedule import ClientPoolManager, PeriodSchedule, paper_schedule
+from repro.workloads.schedule import (
+    ClientPoolManager,
+    PeriodSchedule,
+    constant_schedule,
+    paper_schedule,
+)
 from repro.workloads.spec import QueryFactory, WorkloadMix
 from repro.workloads.tpcc import tpcc_mix
 from repro.workloads.tpch import tpch_mix
@@ -41,12 +56,18 @@ CONTROLLER_NAMES = ("none", "qp", "qp_nopriority", "qs", "qs_detect", "mpl", "di
 
 @dataclass
 class SimulationBundle:
-    """Everything that makes up one runnable simulated deployment."""
+    """Everything that makes up one runnable deployment.
+
+    ``sim`` is the backend's timer service and ``engine`` its execution
+    engine — under the simulation backend these are the familiar
+    ``Simulator``/``DatabaseEngine`` pair, kept as first-class fields so
+    existing code and tests keep reading ``bundle.sim``/``bundle.engine``.
+    """
 
     config: SimulationConfig
-    sim: Simulator
+    sim: TimerService
     rng: RandomStreams
-    engine: DatabaseEngine
+    engine: ExecutionEngine
     patroller: QueryPatroller
     factory: QueryFactory
     classes: List[ServiceClass]
@@ -54,6 +75,7 @@ class SimulationBundle:
     schedule: PeriodSchedule
     manager: ClientPoolManager
     collector: MetricsCollector
+    backend: Optional[ExecutionBackend] = None
     controller: Optional[object] = None
 
     def historical_olap_costs(self) -> List[float]:
@@ -76,9 +98,43 @@ class SimulationBundle:
         return costs
 
     def run(self, horizon: Optional[float] = None) -> None:
-        """Run the simulation to its schedule horizon (or ``horizon``)."""
+        """Run the deployment to its schedule horizon (or ``horizon``)."""
         end = horizon if horizon is not None else self.schedule.horizon
-        self.sim.run_until(end)
+        if self.backend is not None:
+            self.backend.run_until(end)
+        else:
+            self.sim.run_until(end)
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; no-op for the sim)."""
+        if self.backend is not None:
+            self.backend.close()
+
+
+@dataclass
+class ExperimentSpec:
+    """One experiment, as data.
+
+    Replaces :func:`run_experiment`'s keyword sprawl: build a spec, tweak
+    it with :func:`dataclasses.replace`, hand it to :func:`run_spec` (or
+    ``run_experiment(spec=...)``).  The old ``run_experiment`` keywords
+    remain a thin shim over this.
+    """
+
+    controller: str = "qs"
+    config: Optional[SimulationConfig] = None
+    schedule: Optional[PeriodSchedule] = None
+    classes: Optional[List[ServiceClass]] = None
+    static_olap_limit: Optional[float] = None
+    invariants: str = "off"
+    tracing: bool = False
+    backend: str = "sim"
+    backend_options: Dict[str, Any] = field(default_factory=dict)
+    horizon: Optional[float] = None
+
+    def with_overrides(self, **changes: Any) -> "ExperimentSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
 
 
 @dataclass
@@ -104,25 +160,54 @@ class ExperimentResult:
         return {c.name: self.collector.goal_attainment(c) for c in self.classes}
 
 
+def realtime_smoke_schedule(
+    config: SimulationConfig, classes: List[ServiceClass]
+) -> PeriodSchedule:
+    """Default schedule for real-time backends: a light constant load.
+
+    The paper schedule drives tens of clients for minutes of period time —
+    fine in virtual time, not in wall-clock smoke runs.  This keeps one
+    client per OLAP class and two per OLTP class over the configured
+    number of (short) periods.
+    """
+    return constant_schedule(
+        config.scale.period_seconds,
+        config.scale.num_periods,
+        {c.name: (1 if c.kind == "olap" else 2) for c in classes},
+    )
+
+
 def build_bundle(
     config: Optional[SimulationConfig] = None,
     schedule: Optional[PeriodSchedule] = None,
     classes: Optional[List[ServiceClass]] = None,
     mixes: Optional[Dict[str, WorkloadMix]] = None,
+    backend: str = "sim",
+    backend_options: Optional[Dict[str, Any]] = None,
 ) -> SimulationBundle:
-    """Assemble engine, patroller, workloads and metrics (no controller yet)."""
+    """Assemble backend, patroller, workloads and metrics (no controller yet).
+
+    ``backend`` selects the execution substrate (see
+    :data:`repro.runtime.BACKEND_NAMES`); ``backend_options`` pass through
+    to the backend constructor.  With a real-time backend and no explicit
+    ``schedule``, :func:`realtime_smoke_schedule` is used — the paper
+    schedule's client counts are sized for virtual time.
+    """
     config = (config or default_config()).validate()
     classes = list(classes) if classes is not None else list(paper_classes())
     if schedule is None:
-        schedule = paper_schedule(config.scale.period_seconds)
-        if schedule.num_periods != config.scale.num_periods:
-            schedule = PeriodSchedule(
-                config.scale.period_seconds,
-                {
-                    name: series[: config.scale.num_periods]
-                    for name, series in schedule.counts.items()
-                },
-            )
+        if backend != "sim":
+            schedule = realtime_smoke_schedule(config, classes)
+        else:
+            schedule = paper_schedule(config.scale.period_seconds)
+            if schedule.num_periods != config.scale.num_periods:
+                schedule = PeriodSchedule(
+                    config.scale.period_seconds,
+                    {
+                        name: series[: config.scale.num_periods]
+                        for name, series in schedule.counts.items()
+                    },
+                )
     if mixes is None:
         olap = tpch_mix()
         oltp = tpcc_mix()
@@ -136,9 +221,10 @@ def build_bundle(
     if unknown:
         raise ConfigurationError("schedule covers unknown classes {}".format(unknown))
 
-    sim = Simulator()
     rng = RandomStreams(config.seed)
-    engine = DatabaseEngine(sim, config, rng)
+    backend_obj = make_backend(backend, config, rng, **(backend_options or {}))
+    sim = backend_obj.timers
+    engine = backend_obj.engine
     patroller = QueryPatroller(sim, engine, config.patroller)
     factory = QueryFactory(engine.estimator, rng)
     collector = MetricsCollector(engine, schedule, classes)
@@ -167,6 +253,7 @@ def build_bundle(
         schedule=schedule,
         manager=manager,
         collector=collector,
+        backend=backend_obj,
     )
 
 
@@ -230,49 +317,62 @@ def make_controller(
     return controller
 
 
-def run_experiment(
-    controller: str = "qs",
-    config: Optional[SimulationConfig] = None,
-    schedule: Optional[PeriodSchedule] = None,
-    classes: Optional[List[ServiceClass]] = None,
-    static_olap_limit: Optional[float] = None,
-    invariants: str = "off",
-    tracing: bool = False,
-) -> ExperimentResult:
-    """Run one full scheduled experiment under the named controller.
+def run_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one full scheduled experiment described by ``spec``.
 
-    ``invariants`` selects the runtime validation mode: ``"off"`` (no
+    ``spec.invariants`` selects the runtime validation mode: ``"off"`` (no
     harness), ``"warn"`` (check at every control interval, record
     violations into telemetry) or ``"strict"`` (additionally raise
     :class:`~repro.errors.InvariantViolation` on the first ERROR-or-worse
     violation).  The attached harness rides along in
     ``result.extras["validation"]``.
 
-    ``tracing`` attaches a :class:`~repro.obs.QueryTracer` that records one
-    balanced span per query lifecycle phase; it rides along (finalised) in
-    ``result.extras["tracer"]``.
+    ``spec.tracing`` attaches a :class:`~repro.obs.QueryTracer` that
+    records one balanced span per query lifecycle phase; it rides along
+    (finalised) in ``result.extras["tracer"]``.
+
+    Real-time backends are closed (worker threads stopped, database
+    removed) before this returns, even on failure; the collected metrics
+    remain readable afterwards.
     """
-    bundle = build_bundle(config=config, schedule=schedule, classes=classes)
-    built = make_controller(bundle, controller, static_olap_limit=static_olap_limit)
-    if isinstance(built, QueryScheduler):  # covers qs and qs_detect
-        built.planner.add_plan_listener(bundle.collector.on_plan)
-    tracer = None
-    if tracing:
-        tracer = QueryTracer(
-            sim=bundle.sim,
-            patroller=bundle.patroller,
-            engine=bundle.engine,
-            schedule=bundle.schedule,
+    if spec.backend not in BACKEND_NAMES:
+        raise ConfigurationError(
+            "unknown backend {!r}; expected one of {}".format(
+                spec.backend, BACKEND_NAMES
+            )
         )
-    # The harness attaches after the telemetry and collector listeners so a
-    # check at an interval boundary sees the interval's record already
-    # written (and can embed its violations there).
-    harness = attach_harness(bundle, mode=invariants)
-    built.start()
-    bundle.manager.start()
-    bundle.run()
+    bundle = build_bundle(
+        config=spec.config,
+        schedule=spec.schedule,
+        classes=spec.classes,
+        backend=spec.backend,
+        backend_options=dict(spec.backend_options),
+    )
+    try:
+        built = make_controller(
+            bundle, spec.controller, static_olap_limit=spec.static_olap_limit
+        )
+        if isinstance(built, QueryScheduler):  # covers qs and qs_detect
+            built.planner.add_plan_listener(bundle.collector.on_plan)
+        tracer = None
+        if spec.tracing:
+            tracer = QueryTracer(
+                clock=bundle.sim,
+                patroller=bundle.patroller,
+                engine=bundle.engine,
+                schedule=bundle.schedule,
+            )
+        # The harness attaches after the telemetry and collector listeners
+        # so a check at an interval boundary sees the interval's record
+        # already written (and can embed its violations there).
+        harness = attach_harness(bundle, mode=spec.invariants)
+        built.start()
+        bundle.manager.start()
+        bundle.run(horizon=spec.horizon)
+    finally:
+        bundle.close()
     result = ExperimentResult(
-        controller_name=controller,
+        controller_name=spec.controller,
         config=bundle.config,
         classes=bundle.classes,
         schedule=bundle.schedule,
@@ -288,3 +388,35 @@ def run_experiment(
         tracer.finalize()
         result.extras["tracer"] = tracer
     return result
+
+
+def run_experiment(
+    controller: str = "qs",
+    config: Optional[SimulationConfig] = None,
+    schedule: Optional[PeriodSchedule] = None,
+    classes: Optional[List[ServiceClass]] = None,
+    static_olap_limit: Optional[float] = None,
+    invariants: str = "off",
+    tracing: bool = False,
+    backend: str = "sim",
+    horizon: Optional[float] = None,
+    spec: Optional[ExperimentSpec] = None,
+) -> ExperimentResult:
+    """Run one experiment (thin keyword shim over :func:`run_spec`).
+
+    Pass ``spec=`` to supply an :class:`ExperimentSpec` directly; the
+    individual keywords are then ignored.
+    """
+    if spec is None:
+        spec = ExperimentSpec(
+            controller=controller,
+            config=config,
+            schedule=schedule,
+            classes=classes,
+            static_olap_limit=static_olap_limit,
+            invariants=invariants,
+            tracing=tracing,
+            backend=backend,
+            horizon=horizon,
+        )
+    return run_spec(spec)

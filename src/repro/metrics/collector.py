@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.planner import PlanRecord
 from repro.core.service_class import ServiceClass
-from repro.dbms.engine import DatabaseEngine
+from repro.runtime import ExecutionEngine
 from repro.dbms.query import Query
 from repro.errors import MetricsError
 from repro.sim.stats import Histogram, WelfordAccumulator
@@ -76,7 +76,7 @@ class MetricsCollector:
 
     def __init__(
         self,
-        engine: DatabaseEngine,
+        engine: ExecutionEngine,
         schedule: PeriodSchedule,
         classes: List[ServiceClass],
     ) -> None:

@@ -33,25 +33,39 @@ from repro.errors import SimulationError
 from repro.obs.spans import Span, validate_spans
 
 if TYPE_CHECKING:  # wiring types only; the tracer duck-types at runtime
-    from repro.dbms.engine import DatabaseEngine
     from repro.dbms.query import Query
     from repro.patroller.patroller import QueryPatroller
-    from repro.sim.engine import Simulator
+    from repro.runtime import Clock, ExecutionEngine
     from repro.workloads.schedule import PeriodSchedule
 
 
 class QueryTracer:
-    """Records one span per query phase off the live lifecycle hooks."""
+    """Records one span per query phase off the live lifecycle hooks.
+
+    Timestamps come exclusively from the injected ``clock`` — any
+    :class:`~repro.runtime.Clock` (the simulator under the sim backend, a
+    wall clock under real-time backends).  ``sim=`` is accepted as a
+    backward-compatible alias for ``clock=``.
+    """
 
     def __init__(
         self,
-        sim: "Simulator",
-        patroller: "QueryPatroller",
-        engine: "DatabaseEngine",
+        clock: Optional["Clock"] = None,
+        patroller: "QueryPatroller" = None,
+        engine: "ExecutionEngine" = None,
         schedule: Optional["PeriodSchedule"] = None,
         trace_bypassed: bool = False,
+        sim: Optional["Clock"] = None,
     ) -> None:
-        self.sim = sim
+        if clock is None:
+            clock = sim
+        if clock is None or patroller is None or engine is None:
+            raise SimulationError(
+                "QueryTracer needs a clock (or sim), a patroller and an engine"
+            )
+        self.clock = clock
+        #: Backward-compatible alias for the injected clock.
+        self.sim = clock
         self.patroller = patroller
         self.engine = engine
         self.schedule = schedule
@@ -164,7 +178,7 @@ class QueryTracer:
     # Event handlers
     # ------------------------------------------------------------------
     def _on_lifecycle(self, event: str, query: "Query") -> None:
-        now = self.sim.now
+        now = self.clock.now
         if event == "submitted":
             if self.patroller.intercepts(query.class_name):
                 self._open_span(query, "intercept", now)
@@ -189,10 +203,10 @@ class QueryTracer:
         if query.query_id in self._open:
             return
         if self.trace_bypassed and not self.patroller.intercepts(query.class_name):
-            self._open_span(query, "execute", self.sim.now)
+            self._open_span(query, "execute", self.clock.now)
 
     def _on_completion(self, query: "Query") -> None:
-        self._close_open(query.query_id, self.sim.now)
+        self._close_open(query.query_id, self.clock.now)
 
     # ------------------------------------------------------------------
     # End of run
@@ -205,7 +219,7 @@ class QueryTracer:
         trace balances without inventing phase ends.  Idempotent.
         """
         if now is None:
-            now = self.sim.now
+            now = self.clock.now
         for query_id in sorted(self._open):
             span = self._open.pop(query_id)
             span.close(max(now, span.begin), truncated=True)

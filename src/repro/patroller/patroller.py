@@ -20,12 +20,10 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.config import PatrollerConfig
-from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import CPU, Phase, Query, QueryState
 from repro.errors import PatrollerError
 from repro.patroller.tables import ControlTables
-from repro.sim.engine import Simulator
-from repro.sim.events import EventHandle
+from repro.runtime import ExecutionEngine, TimerHandle, TimerService
 
 ReleaseHandler = Callable[[Query], None]
 CancelListener = Callable[[Query], None]
@@ -48,8 +46,8 @@ class QueryPatroller:
 
     def __init__(
         self,
-        sim: Simulator,
-        engine: DatabaseEngine,
+        sim: TimerService,
+        engine: ExecutionEngine,
         config: PatrollerConfig,
     ) -> None:
         config.validate()
@@ -62,7 +60,7 @@ class QueryPatroller:
         self._held: Set[int] = set()
         #: Released queries whose engine hand-off is still in flight
         #: (release-latency window); maps query id to the pending event.
-        self._pending_release: Dict[int, EventHandle] = {}
+        self._pending_release: Dict[int, TimerHandle] = {}
         self._intercepted_count = 0
         self._bypassed_count = 0
         self._submit_listeners = []

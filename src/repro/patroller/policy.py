@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dbms.engine import DatabaseEngine
+from repro.runtime import ExecutionEngine
 from repro.dbms.query import Query, QueryState
 from repro.errors import ConfigurationError
 from repro.patroller.patroller import QueryPatroller
@@ -124,7 +124,7 @@ class QPStaticPolicy:
     def __init__(
         self,
         patroller: QueryPatroller,
-        engine: DatabaseEngine,
+        engine: ExecutionEngine,
         groups: Optional[Sequence[CostGroup]] = None,
         priorities: Optional[Dict[str, int]] = None,
         global_cost_limit: Optional[float] = None,

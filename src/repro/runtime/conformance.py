@@ -1,0 +1,335 @@
+"""Backend conformance checks.
+
+Library code (driven by ``tests/runtime/test_conformance.py``, but usable
+against any out-of-tree backend) that verifies an
+:class:`~repro.runtime.protocols.ExecutionBackend` honours the contract
+the controller stack depends on:
+
+* **clock monotonicity** — ``now`` never goes backwards, timers never fire
+  before their due time;
+* **timer ordering** — due-time order, priority order within an instant,
+  scheduling order within a priority;
+* **timer cancellation** — cancelled timers never fire, ``cancel`` is
+  exactly-once, consumed timers report inactive;
+* **completion-hook balance** — every executed query starts once,
+  completes once, and leaves the engine's executing set and counters
+  balanced;
+* **cost accounting** — ``executing_cost`` equals the sum of estimated
+  costs over ``executing_snapshot`` at all times and drains to zero.
+
+Each check takes a *fresh* backend and returns a list of human-readable
+problems (empty = conformant).  :func:`run_conformance` runs the whole
+suite through a backend factory, closing each instance.
+
+Checks use sub-second horizons so they are cheap in wall-clock time on
+real-time backends and in event count on the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.dbms.query import Query, QueryState, make_phases
+from repro.runtime.protocols import ExecutionBackend
+
+#: Query-id namespace for conformance queries, far above workload ids.
+_ID_BASE = 1_000_000
+
+#: Per-check wall/virtual-second budget for draining submitted queries.
+_DRAIN_LIMIT = 30.0
+
+
+def _make_query(
+    backend: ExecutionBackend,
+    index: int,
+    kind: str = "oltp",
+    class_name: str = "class3",
+    cpu: float = 0.004,
+    io: float = 0.002,
+) -> Query:
+    """Build a small executable query priced by the backend's estimator.
+
+    Estimated cost is set to the exact cost (no optimizer noise) so cost
+    accounting is exactly checkable.
+    """
+    template = "q1" if kind == "olap" else "payment"
+    cost = backend.engine.estimator.true_cost(cpu, io)
+    return Query(
+        query_id=_ID_BASE + index,
+        class_name=class_name,
+        client_id="conformance:{}".format(index),
+        template=template,
+        kind=kind,
+        phases=make_phases(cpu, io, 1),
+        true_cost=cost,
+        estimated_cost=cost,
+    )
+
+
+def _drain(
+    backend: ExecutionBackend,
+    done: Callable[[], bool],
+    step: float = 0.05,
+    limit: float = _DRAIN_LIMIT,
+    on_step: Callable[[], None] = lambda: None,
+) -> bool:
+    """Run the backend in ``step``-sized slices until ``done()`` or ``limit``."""
+    waited = 0.0
+    while not done() and waited < limit:
+        backend.run_until(backend.clock.now + step)
+        on_step()
+        waited += step
+    return done()
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+def check_clock_monotonicity(backend: ExecutionBackend) -> List[str]:
+    """``now`` is non-decreasing; timers fire at or after their due time."""
+    problems: List[str] = []
+    samples: List[Tuple[float, float]] = []  # (due_time, observed_now)
+    start = backend.clock.now
+    if backend.clock.now < start:
+        problems.append("clock moved backwards between consecutive reads")
+    due_times = [start + d for d in (0.01, 0.05, 0.12, 0.2)]
+    for due in due_times:
+        backend.timers.schedule_at(
+            due,
+            lambda due=due: samples.append((due, backend.clock.now)),
+            label="conformance:tick",
+        )
+    backend.run_until(start + 0.3)
+    if len(samples) != len(due_times):
+        problems.append(
+            "expected {} timer firings, saw {}".format(len(due_times), len(samples))
+        )
+    previous = start
+    for due, observed in samples:
+        if observed < due - 1e-9:
+            problems.append(
+                "timer due at {:.4f} fired early at {:.4f}".format(due, observed)
+            )
+        if observed < previous - 1e-9:
+            problems.append(
+                "clock went backwards: {:.4f} after {:.4f}".format(observed, previous)
+            )
+        previous = observed
+    if backend.clock.now < start + 0.3 - 1e-9:
+        problems.append("run_until returned before the requested horizon")
+    return problems
+
+
+def check_timer_ordering(backend: ExecutionBackend) -> List[str]:
+    """Timers fire in (time, priority, scheduling-order) order."""
+    problems: List[str] = []
+    fired: List[str] = []
+    start = backend.clock.now
+    # Scheduled deliberately out of due-time order; b/c/d share a due time
+    # and exercise priority (lower first) then scheduling order.
+    backend.timers.schedule_at(start + 0.10, lambda: fired.append("c"), "c", priority=5)
+    backend.timers.schedule_at(start + 0.15, lambda: fired.append("e"), "e")
+    backend.timers.schedule_at(start + 0.10, lambda: fired.append("b"), "b", priority=-5)
+    backend.timers.schedule_at(start + 0.05, lambda: fired.append("a"), "a")
+    backend.timers.schedule_at(start + 0.10, lambda: fired.append("d"), "d", priority=5)
+    backend.run_until(start + 0.25)
+    expected = ["a", "b", "c", "d", "e"]
+    if fired != expected:
+        problems.append("firing order {} != expected {}".format(fired, expected))
+    return problems
+
+
+def check_timer_cancellation(backend: ExecutionBackend) -> List[str]:
+    """Cancelled timers never fire; cancel() is exactly-once."""
+    problems: List[str] = []
+    fired: List[str] = []
+    start = backend.clock.now
+    early = backend.timers.schedule_at(
+        start + 0.05, lambda: fired.append("early"), "early"
+    )
+    if not early.active:
+        problems.append("freshly scheduled timer reports inactive")
+    if not early.cancel():
+        problems.append("first cancel() of a pending timer returned False")
+    if early.cancel():
+        problems.append("second cancel() of the same timer returned True")
+    if early.active:
+        problems.append("cancelled timer still reports active")
+
+    victim = backend.timers.schedule_at(
+        start + 0.15, lambda: fired.append("victim"), "victim"
+    )
+    # A timer cancelling a later one from inside a callback.
+    backend.timers.schedule_at(start + 0.08, lambda: victim.cancel(), "canceller")
+    survivor = backend.timers.schedule_at(
+        start + 0.12, lambda: fired.append("survivor"), "survivor"
+    )
+    backend.run_until(start + 0.25)
+    if fired != ["survivor"]:
+        problems.append(
+            "expected only 'survivor' to fire, saw {}".format(fired)
+        )
+    if survivor.active:
+        problems.append("consumed timer still reports active")
+    if survivor.cancel():
+        problems.append("cancel() of an already-fired timer returned True")
+    return problems
+
+
+def check_completion_balance(backend: ExecutionBackend) -> List[str]:
+    """Every submitted query starts once, completes once, and is retired."""
+    problems: List[str] = []
+    engine = backend.engine
+    starts: Dict[int, int] = {}
+    completions: Dict[int, int] = {}
+    engine.add_start_listener(
+        lambda q: starts.__setitem__(q.query_id, starts.get(q.query_id, 0) + 1)
+    )
+    engine.add_completion_listener(
+        lambda q: completions.__setitem__(q.query_id, completions.get(q.query_id, 0) + 1)
+    )
+    queries = [
+        _make_query(backend, i, kind="olap" if i % 3 == 0 else "oltp")
+        for i in range(6)
+    ]
+    completed_before = engine.completed_queries
+    for query in queries:
+        # Normally the patroller stamps submission; conformance bypasses it.
+        query.submit_time = backend.clock.now
+        engine.execute(query)
+    done = lambda: engine.completed_queries >= completed_before + len(queries)  # noqa: E731
+    if not _drain(backend, done):
+        problems.append(
+            "only {}/{} queries completed within the drain budget".format(
+                engine.completed_queries - completed_before, len(queries)
+            )
+        )
+        return problems
+    for query in queries:
+        if starts.get(query.query_id, 0) != 1:
+            problems.append(
+                "query {} saw {} start events (want 1)".format(
+                    query.query_id, starts.get(query.query_id, 0)
+                )
+            )
+        if completions.get(query.query_id, 0) != 1:
+            problems.append(
+                "query {} saw {} completion events (want 1)".format(
+                    query.query_id, completions.get(query.query_id, 0)
+                )
+            )
+        if query.state is not QueryState.COMPLETED:
+            problems.append(
+                "query {} finished in state {}".format(query.query_id, query.state)
+            )
+        if (
+            query.finish_time is None
+            or query.start_time is None
+            or query.release_time is None
+            or query.finish_time < query.start_time
+            or query.start_time < query.release_time
+        ):
+            problems.append(
+                "query {} has inconsistent timestamps "
+                "(release={}, start={}, finish={})".format(
+                    query.query_id,
+                    query.release_time,
+                    query.start_time,
+                    query.finish_time,
+                )
+            )
+    if engine.executing_queries != 0:
+        problems.append(
+            "engine still reports {} executing after drain".format(
+                engine.executing_queries
+            )
+        )
+    if engine.executing_snapshot():
+        problems.append("executing_snapshot() non-empty after drain")
+    return problems
+
+
+def check_cost_accounting(backend: ExecutionBackend) -> List[str]:
+    """``executing_cost`` tracks the executing set exactly, then drains."""
+    problems: List[str] = []
+    engine = backend.engine
+    queries = [
+        _make_query(
+            backend,
+            100 + i,
+            kind="olap" if i % 2 == 0 else "oltp",
+            class_name="class1" if i % 2 == 0 else "class3",
+            cpu=0.01 + 0.004 * i,
+            io=0.006,
+        )
+        for i in range(5)
+    ]
+    completed_before = engine.completed_queries
+    for query in queries:
+        # Normally the patroller stamps submission; conformance bypasses it.
+        query.submit_time = backend.clock.now
+        engine.execute(query)
+
+    def probe() -> None:
+        snapshot = engine.executing_snapshot()
+        expected_total = sum(q.estimated_cost for q in snapshot)
+        if abs(engine.executing_cost() - expected_total) > 1e-6:
+            problems.append(
+                "executing_cost()={:.3f} but snapshot sums to {:.3f}".format(
+                    engine.executing_cost(), expected_total
+                )
+            )
+        if engine.executing_queries != len(snapshot):
+            problems.append(
+                "executing_queries={} but snapshot has {}".format(
+                    engine.executing_queries, len(snapshot)
+                )
+            )
+        for class_name in ("class1", "class3"):
+            expected = sum(
+                q.estimated_cost for q in snapshot if q.class_name == class_name
+            )
+            if abs(engine.executing_cost(class_name) - expected) > 1e-6:
+                problems.append(
+                    "executing_cost({!r})={:.3f} but snapshot sums to {:.3f}".format(
+                        class_name, engine.executing_cost(class_name), expected
+                    )
+                )
+
+    done = lambda: engine.completed_queries >= completed_before + len(queries)  # noqa: E731
+    if not _drain(backend, done, on_step=probe):
+        problems.append("cost-accounting queries did not drain in budget")
+    probe()
+    if abs(engine.executing_cost()) > 1e-9:
+        problems.append(
+            "executing_cost()={} after drain (want 0)".format(engine.executing_cost())
+        )
+    return problems
+
+
+#: The suite, in execution order.  Each check gets a fresh backend.
+CONFORMANCE_CHECKS: Dict[str, Callable[[ExecutionBackend], List[str]]] = {
+    "clock_monotonicity": check_clock_monotonicity,
+    "timer_ordering": check_timer_ordering,
+    "timer_cancellation": check_timer_cancellation,
+    "completion_balance": check_completion_balance,
+    "cost_accounting": check_cost_accounting,
+}
+
+
+def run_conformance(
+    backend_factory: Callable[[], ExecutionBackend],
+) -> Dict[str, List[str]]:
+    """Run every conformance check against fresh backends from the factory.
+
+    Returns ``{check_name: [problems]}`` — all lists empty for a
+    conformant backend.
+    """
+    results: Dict[str, List[str]] = {}
+    for name, check in CONFORMANCE_CHECKS.items():
+        backend = backend_factory()
+        try:
+            results[name] = check(backend)
+        finally:
+            backend.close()
+    return results

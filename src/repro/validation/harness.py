@@ -33,11 +33,10 @@ from repro.core.models import _SLOPE_DRIFT_FACTOR, OLTPResponseTimeModel
 from repro.core.monitor import Monitor
 from repro.core.planner import PlanRecord, SchedulingPlanner
 from repro.core.service_class import ServiceClass
-from repro.dbms.engine import DatabaseEngine
 from repro.dbms.query import QueryState
 from repro.errors import InvariantViolation, SchedulingError
 from repro.patroller.patroller import QueryPatroller
-from repro.sim.engine import Simulator
+from repro.runtime import ExecutionEngine, TimerService
 from repro.validation.invariants import (
     Invariant,
     InvariantRegistry,
@@ -64,8 +63,8 @@ class ControlLoopWorld:
     registers the checks whose subjects are present.
     """
 
-    sim: Simulator
-    engine: DatabaseEngine
+    sim: TimerService
+    engine: ExecutionEngine
     classes: Sequence[ServiceClass]
     config: Optional[SimulationConfig] = None
     patroller: Optional[QueryPatroller] = None
@@ -75,7 +74,7 @@ class ControlLoopWorld:
 
     @property
     def now(self) -> float:
-        """Current simulation time."""
+        """Current backend time (virtual or wall-clock)."""
         return self.sim.now
 
     @property

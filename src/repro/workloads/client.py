@@ -21,7 +21,7 @@ from typing import Callable, Optional
 
 from repro.dbms.query import Query, QueryState
 from repro.patroller.patroller import QueryPatroller
-from repro.sim.engine import Simulator
+from repro.runtime import TimerService
 from repro.workloads.spec import QueryFactory, WorkloadMix
 
 
@@ -30,7 +30,7 @@ class ClosedLoopClient:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: TimerService,
         patroller: QueryPatroller,
         factory: QueryFactory,
         mix: WorkloadMix,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.errors import WorkloadError
 from repro.patroller.patroller import QueryPatroller
-from repro.sim.engine import Simulator
+from repro.runtime import TimerService
 from repro.sim.rng import RandomStreams
 from repro.workloads.spec import QueryFactory, WorkloadMix
 
@@ -34,7 +34,7 @@ class OpenLoopSource:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: TimerService,
         patroller: QueryPatroller,
         factory: QueryFactory,
         mix: WorkloadMix,

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.errors import WorkloadError
-from repro.sim.engine import Simulator
+from repro.runtime import TimerService
 from repro.workloads.client import ClosedLoopClient
 
 #: Reconstructed per-period client counts (period 1 first).
@@ -129,7 +129,7 @@ class ClientPoolManager:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: TimerService,
         schedule: PeriodSchedule,
         client_builder: ClientBuilder,
     ) -> None:

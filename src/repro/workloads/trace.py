@@ -16,7 +16,7 @@ from typing import List, NamedTuple, Optional
 from repro.dbms.query import Query, make_phases
 from repro.errors import WorkloadError
 from repro.patroller.patroller import QueryPatroller
-from repro.sim.engine import Simulator
+from repro.runtime import TimerService
 from repro.workloads.spec import QueryFactory
 
 
@@ -86,7 +86,7 @@ class WorkloadTrace:
 class TraceRecorder:
     """Captures every submitted statement into a :class:`WorkloadTrace`."""
 
-    def __init__(self, sim: Simulator, patroller: QueryPatroller) -> None:
+    def __init__(self, sim: TimerService, patroller: QueryPatroller) -> None:
         self.sim = sim
         self.trace = WorkloadTrace()
         patroller.add_submit_listener(self._on_submit)
@@ -117,7 +117,7 @@ class TraceReplayer:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: TimerService,
         patroller: QueryPatroller,
         factory: QueryFactory,
         trace: WorkloadTrace,

@@ -1,0 +1,62 @@
+"""ExperimentSpec and the backward-compatible ``run_experiment`` shim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    MonitorConfig,
+    PlannerConfig,
+    WorkloadScaleConfig,
+    default_config,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentSpec, run_experiment, run_spec
+
+
+def _cheap_config(seed=13):
+    return default_config(
+        seed=seed,
+        scale=WorkloadScaleConfig(period_seconds=40.0, num_periods=2),
+        monitor=MonitorConfig(snapshot_interval=10.0, response_time_window=15.0),
+        planner=PlannerConfig(control_interval=20.0),
+    )
+
+
+def test_spec_defaults():
+    spec = ExperimentSpec()
+    assert spec.controller == "qs"
+    assert spec.backend == "sim"
+    assert spec.backend_options == {}
+    assert spec.invariants == "off"
+    assert spec.horizon is None
+
+
+def test_with_overrides_returns_new_spec():
+    spec = ExperimentSpec(controller="none", invariants="warn")
+    other = spec.with_overrides(controller="qs")
+    assert other.controller == "qs"
+    assert other.invariants == "warn"  # untouched fields carried over
+    assert spec.controller == "none"  # original unchanged
+
+
+def test_old_kwargs_and_spec_produce_identical_runs():
+    old = run_experiment(controller="qs", config=_cheap_config())
+    new = run_spec(ExperimentSpec(controller="qs", config=_cheap_config()))
+    assert old.goal_attainment() == new.goal_attainment()
+    assert old.performance_series() == new.performance_series()
+    assert (
+        old.bundle.engine.completed_queries == new.bundle.engine.completed_queries
+    )
+
+
+def test_run_experiment_spec_kwarg_wins():
+    spec = ExperimentSpec(controller="mpl", config=_cheap_config())
+    via_spec = run_experiment(spec=spec)
+    direct = run_spec(ExperimentSpec(controller="mpl", config=_cheap_config()))
+    assert via_spec.goal_attainment() == direct.goal_attainment()
+
+
+def test_unknown_backend_in_spec_rejected():
+    with pytest.raises(ConfigurationError):
+        run_spec(ExperimentSpec(config=_cheap_config(), backend="postgres"))
