@@ -1,0 +1,50 @@
+"""Benchmark suite and ``BENCH_<n>.json`` performance-trajectory artifacts.
+
+``repro bench`` runs the suite (micro benchmarks for the event heap, the
+processor-sharing core, and the Performance Solver; one macro benchmark
+running the full replication experiment) and writes a schema-versioned
+report; ``repro bench --compare A B`` prints the per-metric deltas
+between two reports.
+"""
+
+from repro.bench.report import (
+    BENCH_SCHEMA_VERSION,
+    BenchmarkResult,
+    BenchReport,
+    MetricDelta,
+    compare_reports,
+    format_comparison,
+    machine_info,
+    next_bench_path,
+    stat_from_accumulator,
+    validate_report,
+)
+from repro.bench.suite import (
+    BENCH_CASES,
+    BENCH_NAMES,
+    DEFAULT_TRIALS,
+    BenchCase,
+    BenchScale,
+    format_report,
+    run_suite,
+)
+
+__all__ = [
+    "BENCH_CASES",
+    "BENCH_NAMES",
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "BenchReport",
+    "BenchScale",
+    "BenchmarkResult",
+    "DEFAULT_TRIALS",
+    "MetricDelta",
+    "compare_reports",
+    "format_comparison",
+    "format_report",
+    "machine_info",
+    "next_bench_path",
+    "run_suite",
+    "stat_from_accumulator",
+    "validate_report",
+]

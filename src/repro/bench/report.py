@@ -1,0 +1,312 @@
+"""Benchmark artifacts: the schema-versioned ``BENCH_<n>.json`` trajectory.
+
+Every ``repro bench`` run emits one report file at the repo root (or
+wherever ``--dir`` points): machine info, the git sha the numbers were
+measured at, and per-benchmark statistics aggregated over repeated trials
+with :class:`~repro.sim.stats.WelfordAccumulator`.  Reports are numbered
+(``BENCH_0.json``, ``BENCH_1.json``, ...) so the sequence of committed
+files *is* the performance trajectory of the repository — any speed claim
+in a PR should point at the delta between two of them
+(``repro bench --compare BENCH_a.json BENCH_b.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import BenchError
+from repro.sim.stats import WelfordAccumulator
+
+#: Version of the ``BENCH_*.json`` layout.  Bump on incompatible changes;
+#: :func:`validate_report` rejects files from other major versions.
+BENCH_SCHEMA_VERSION = 1
+
+#: File-name pattern of committed bench artifacts.
+_BENCH_FILE_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Keys every per-metric stat block must carry.
+_STAT_KEYS = ("mean", "std", "min", "max", "trials")
+
+#: Benchmark kinds (micro = one subsystem in isolation, macro = a whole
+#: experiment end to end).
+BENCH_KINDS = ("micro", "macro")
+
+
+def stat_from_accumulator(acc: WelfordAccumulator) -> Dict[str, float]:
+    """Flatten a Welford accumulator into the schema's stat block."""
+    if acc.count == 0:
+        raise BenchError("cannot serialise an empty accumulator")
+    return {
+        "mean": acc.mean,
+        "std": acc.stddev,
+        "min": acc.minimum,
+        "max": acc.maximum,
+        "trials": acc.count,
+    }
+
+
+def machine_info() -> Dict[str, object]:
+    """Describe the machine the numbers were measured on."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit sha, or None outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+@dataclass
+class BenchmarkResult:
+    """Aggregated outcome of one benchmark across trials."""
+
+    name: str
+    kind: str  # "micro" or "macro"
+    description: str
+    #: Per-metric stat blocks, e.g. ``{"queries_per_s": {"mean": ...}}``.
+    metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def metric_mean(self, metric: str) -> float:
+        """Mean of one metric; raises BenchError if absent."""
+        stat = self.metrics.get(metric)
+        if stat is None:
+            raise BenchError(
+                "benchmark {!r} has no metric {!r} (has {})".format(
+                    self.name, metric, sorted(self.metrics)
+                )
+            )
+        return stat["mean"]
+
+
+@dataclass
+class BenchReport:
+    """One complete ``BENCH_<n>.json`` document."""
+
+    machine: Dict[str, object]
+    sha: Optional[str]
+    trials: int
+    smoke: bool
+    benchmarks: Dict[str, BenchmarkResult] = field(default_factory=dict)
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-ready document."""
+        return {
+            "schema_version": self.schema_version,
+            "machine": self.machine,
+            "git_sha": self.sha,
+            "trials": self.trials,
+            "smoke": self.smoke,
+            "benchmarks": {
+                name: {
+                    "kind": result.kind,
+                    "description": result.description,
+                    "metrics": result.metrics,
+                }
+                for name, result in self.benchmarks.items()
+            },
+        }
+
+    def save(self, path: str) -> None:
+        """Write the (validated) report as pretty-printed JSON."""
+        document = self.to_dict()
+        validate_report(document)
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "BenchReport":
+        """Parse and validate a loaded JSON document."""
+        validate_report(document)
+        benchmarks = {
+            name: BenchmarkResult(
+                name=name,
+                kind=entry["kind"],
+                description=entry.get("description", ""),
+                metrics=entry["metrics"],
+            )
+            for name, entry in document["benchmarks"].items()
+        }
+        return cls(
+            machine=document["machine"],
+            sha=document.get("git_sha"),
+            trials=int(document["trials"]),
+            smoke=bool(document["smoke"]),
+            benchmarks=benchmarks,
+            schema_version=int(document["schema_version"]),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "BenchReport":
+        """Load and validate a ``BENCH_*.json`` file."""
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BenchError("cannot read bench report {}: {}".format(path, exc))
+        return cls.from_dict(document)
+
+
+def validate_report(document: object) -> None:
+    """Raise :class:`~repro.errors.BenchError` unless ``document`` conforms.
+
+    Checks the schema version, required top-level keys, benchmark kinds,
+    and that every metric stat block carries mean/std/min/max/trials with
+    numeric values.
+    """
+    if not isinstance(document, dict):
+        raise BenchError("bench report must be a JSON object")
+    version = document.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise BenchError(
+            "unsupported bench schema version {!r} (expected {})".format(
+                version, BENCH_SCHEMA_VERSION
+            )
+        )
+    for key in ("machine", "trials", "smoke", "benchmarks"):
+        if key not in document:
+            raise BenchError("bench report missing key {!r}".format(key))
+    benchmarks = document["benchmarks"]
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        raise BenchError("bench report needs a non-empty 'benchmarks' object")
+    for name, entry in benchmarks.items():
+        if not isinstance(entry, dict):
+            raise BenchError("benchmark {!r} entry must be an object".format(name))
+        if entry.get("kind") not in BENCH_KINDS:
+            raise BenchError(
+                "benchmark {!r} has kind {!r}; expected one of {}".format(
+                    name, entry.get("kind"), BENCH_KINDS
+                )
+            )
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            raise BenchError("benchmark {!r} has no metrics".format(name))
+        for metric, stat in metrics.items():
+            if not isinstance(stat, dict):
+                raise BenchError(
+                    "metric {}/{} must be a stat object".format(name, metric)
+                )
+            for stat_key in _STAT_KEYS:
+                value = stat.get(stat_key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise BenchError(
+                        "metric {}/{} stat {!r} must be numeric (got {!r})".format(
+                            name, metric, stat_key, value
+                        )
+                    )
+            if stat["trials"] < 1:
+                raise BenchError(
+                    "metric {}/{} has no trials".format(name, metric)
+                )
+
+
+def next_bench_path(directory: str = ".") -> str:
+    """The next free ``BENCH_<n>.json`` path in ``directory``."""
+    highest = -1
+    try:
+        names = os.listdir(directory)
+    except OSError as exc:
+        raise BenchError("cannot list bench directory {}: {}".format(directory, exc))
+    for name in names:
+        match = _BENCH_FILE_RE.match(name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return os.path.join(directory, "BENCH_{}.json".format(highest + 1))
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change between two reports."""
+
+    benchmark: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        """``after / before`` (inf when before is zero and after is not)."""
+        if self.before == 0:
+            return float("inf") if self.after else 1.0
+        return self.after / self.before
+
+    @property
+    def percent(self) -> float:
+        """Relative change in percent (+ = larger after)."""
+        return (self.ratio - 1.0) * 100.0
+
+
+def compare_reports(before: BenchReport, after: BenchReport) -> List[MetricDelta]:
+    """Per-metric deltas for every benchmark/metric present in both reports.
+
+    Ordered by benchmark name then metric name, so output (and tests) are
+    deterministic.  Raises :class:`~repro.errors.BenchError` when the two
+    reports share no benchmarks at all.
+    """
+    deltas: List[MetricDelta] = []
+    shared = sorted(set(before.benchmarks) & set(after.benchmarks))
+    if not shared:
+        raise BenchError(
+            "reports share no benchmarks (before has {}, after has {})".format(
+                sorted(before.benchmarks), sorted(after.benchmarks)
+            )
+        )
+    for name in shared:
+        b = before.benchmarks[name]
+        a = after.benchmarks[name]
+        for metric in sorted(set(b.metrics) & set(a.metrics)):
+            deltas.append(
+                MetricDelta(
+                    benchmark=name,
+                    metric=metric,
+                    before=b.metrics[metric]["mean"],
+                    after=a.metrics[metric]["mean"],
+                )
+            )
+    return deltas
+
+
+def format_comparison(deltas: List[MetricDelta]) -> str:
+    """ASCII table of before/after means and the relative change."""
+    lines = [
+        "{:<24} {:<24} {:>14} {:>14} {:>8} {:>9}".format(
+            "benchmark", "metric", "before", "after", "ratio", "change"
+        )
+    ]
+    lines.append("-" * len(lines[0]))
+    for delta in deltas:
+        lines.append(
+            "{:<24} {:<24} {:>14.4g} {:>14.4g} {:>7.2f}x {:>+8.1f}%".format(
+                delta.benchmark,
+                delta.metric,
+                delta.before,
+                delta.after,
+                delta.ratio,
+                delta.percent,
+            )
+        )
+    return "\n".join(lines)

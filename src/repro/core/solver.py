@@ -16,7 +16,7 @@ points; beyond that a greedy unit-reallocation ascent is used.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.models import OLAPVelocityModel, OLTPResponseTimeModel
 from repro.core.plan import SchedulingPlan
@@ -26,6 +26,11 @@ from repro.errors import SchedulingError
 
 #: Class counts up to which the solver enumerates the simplex exhaustively.
 _EXHAUSTIVE_MAX_CLASSES = 3
+
+#: Solved-plan cache entries kept before the cache is dropped wholesale.
+#: Statuses repeat only while measurements are stable, so the cache stays
+#: tiny in practice; the cap merely bounds pathological churn.
+_SOLUTION_CACHE_MAX = 64
 
 
 class ClassStatus:
@@ -78,6 +83,11 @@ class PerformanceSolver:
         self._evaluations = 0
         self._last_score: Optional[float] = None
         self._last_evaluations = 0
+        # Solved (units, score) keyed by the full solver input: reused when
+        # the class statuses and the OLTP model are unchanged between
+        # control intervals.
+        self._solution_cache: Dict[tuple, Tuple[Tuple[int, ...], float]] = {}
+        self._cache_hits = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -103,8 +113,16 @@ class PerformanceSolver:
 
     @property
     def last_evaluations(self) -> int:
-        """Candidate allocations evaluated by the most recent solve."""
+        """Candidate allocations evaluated by the most recent solve.
+
+        Zero when the solve was served from the solution cache.
+        """
         return self._last_evaluations
+
+    @property
+    def cache_hits(self) -> int:
+        """Solves answered from the solution cache (inputs unchanged)."""
+        return self._cache_hits
 
     def register_instruments(self, registry: "MetricsRegistry") -> None:  # noqa: F821
         """Publish the solver's search counters into a registry."""
@@ -122,6 +140,11 @@ class PerformanceSolver:
             "solver_last_score",
             description="Objective score of the most recent solve",
             callback=lambda: self._last_score if self._last_score is not None else 0.0,
+        )
+        registry.counter(
+            "solver_cache_hits_total",
+            description="Solves answered from the solution cache",
+            callback=lambda: self._cache_hits,
         )
 
     # ------------------------------------------------------------------
@@ -164,6 +187,34 @@ class PerformanceSolver:
             for status, limit in zip(statuses, limits)
         )
 
+    def _memo_objective(
+        self,
+        statuses: Sequence[ClassStatus],
+        memos: List[Dict[int, float]],
+        units: Sequence[int],
+    ) -> float:
+        """:meth:`objective` with per-class utilities memoized by unit count.
+
+        The objective is separable — a sum of per-class utilities, each a
+        function of that class's limit alone — so within one solve a class
+        utility at a given unit count never changes and can be computed
+        once.  The candidate score is still accumulated left-to-right in
+        status order, exactly as :meth:`objective`'s ``sum`` does, so
+        scores (and therefore tie-breaks and chosen plans) are bit-identical
+        to the unmemoized search.
+        """
+        self._evaluations += 1
+        score = 0.0
+        grid = self.grid
+        for index, count in enumerate(units):
+            memo = memos[index]
+            utility = memo.get(count)
+            if utility is None:
+                utility = self.class_utility(statuses[index], count * grid)
+                memo[count] = utility
+            score += utility
+        return score
+
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
@@ -183,16 +234,26 @@ class PerformanceSolver:
                     self.system_cost_limit, len(statuses), self.min_class_limit
                 )
             )
-        evaluations_before = self._evaluations
-        if len(statuses) <= _EXHAUSTIVE_MAX_CLASSES:
-            best_units, best_score = self._solve_exhaustive(
-                statuses, total_units, min_units
-            )
+        cache_key = self._cache_key(statuses)
+        cached = self._solution_cache.get(cache_key)
+        if cached is not None:
+            best_units, best_score = cached
+            self._cache_hits += 1
+            self._last_evaluations = 0
         else:
-            best_units, best_score = self._solve_greedy(
-                statuses, total_units, min_units
-            )
-        self._last_evaluations = self._evaluations - evaluations_before
+            evaluations_before = self._evaluations
+            if len(statuses) <= _EXHAUSTIVE_MAX_CLASSES:
+                best_units, best_score = self._solve_exhaustive(
+                    statuses, total_units, min_units
+                )
+            else:
+                best_units, best_score = self._solve_greedy(
+                    statuses, total_units, min_units
+                )
+            self._last_evaluations = self._evaluations - evaluations_before
+            if len(self._solution_cache) >= _SOLUTION_CACHE_MAX:
+                self._solution_cache.clear()
+            self._solution_cache[cache_key] = (best_units, best_score)
         self._last_score = None if math.isnan(best_score) else best_score
         if len(best_units) != len(names):
             raise SchedulingError(
@@ -204,6 +265,33 @@ class PerformanceSolver:
             name: units * self.grid for name, units in zip(names, best_units)
         }
         return SchedulingPlan(limits, self.system_cost_limit, created_at=now)
+
+    def _cache_key(self, statuses: Sequence[ClassStatus]) -> tuple:
+        """Hashable fingerprint of everything a solve's outcome depends on.
+
+        Covers each class's identity, goal, importance and measured state,
+        plus the OLTP model's observation count — ``observe`` bumps it on
+        every accepted sample, so it versions the model's learned slope
+        without hashing the regression state itself.  The solver's own
+        parameters (grid, limits, utility shape) are fixed per instance and
+        need no key component.
+        """
+        parts = []
+        for status in statuses:
+            service_class = status.service_class
+            goal = service_class.goal
+            parts.append(
+                (
+                    service_class.name,
+                    service_class.kind,
+                    type(goal).__name__,
+                    goal.target,
+                    service_class.importance,
+                    status.current_limit,
+                    status.current_value,
+                )
+            )
+        return (tuple(parts), self.oltp_model.observations)
 
     @staticmethod
     def _fallback_units(count: int, total_units: int, min_units: int) -> Tuple[int, ...]:
@@ -227,10 +315,10 @@ class PerformanceSolver:
         # complete allocation instead of the empty tuple.
         best_units = self._fallback_units(len(statuses), total_units, min_units)
         best_score = float("nan")
+        memos: List[Dict[int, float]] = [{} for _ in statuses]
         for combo in _compositions(free_units, len(statuses)):
             units = tuple(min_units + c for c in combo)
-            limits = [u * self.grid for u in units]
-            score = self.objective(statuses, limits)
+            score = self._memo_objective(statuses, memos, units)
             if math.isnan(score):
                 continue
             if math.isnan(best_score) or score > best_score:
@@ -259,8 +347,14 @@ class PerformanceSolver:
         while sum(units) < total_units:
             index = min(range(count), key=lambda i: units[i])
             units[index] += 1
-        # Hill-climb single-unit transfers until no move improves.
-        best_score = self.objective(statuses, [u * self.grid for u in units])
+        # Hill-climb single-unit transfers until no move improves.  A move
+        # only changes the donor's and recipient's unit counts, so with the
+        # per-class memo every candidate rescore costs two utility lookups
+        # (new counts) plus the cheap status-order re-sum; the model and
+        # utility evaluations that used to dominate are computed once per
+        # distinct (class, unit count) pair.
+        memos: List[Dict[int, float]] = [{} for _ in statuses]
+        best_score = self._memo_objective(statuses, memos, units)
         improved = True
         while improved:
             improved = False
@@ -273,7 +367,7 @@ class PerformanceSolver:
                         continue
                     units[donor] -= 1
                     units[recipient] += 1
-                    score = self.objective(statuses, [u * self.grid for u in units])
+                    score = self._memo_objective(statuses, memos, units)
                     units[donor] += 1
                     units[recipient] -= 1
                     if math.isnan(score):

@@ -151,38 +151,45 @@ class DatabaseEngine:
         self._run_next_phase(query)
 
     def _run_next_phase(self, query: Query) -> None:
-        phase = query.next_phase()
-        if phase is None:
-            self._finish(query)
-            return
-        pool = self._pools[phase.kind]
+        # One `advance` closure drives every phase of the query: it is the
+        # completion callback of each phase's job, so the per-phase lambda
+        # allocation (and the per-phase parallelism re-read) of the old
+        # shape disappears from the hottest path in the engine.
+        pools = self._pools
         degree = max(1, int(query.parallelism))
-        if degree == 1:
-            job = PSJob(
-                name="q{}:{}".format(query.query_id, phase.kind),
-                demand=phase.demand,
-                on_complete=lambda _job, q=query: self._run_next_phase(q),
-            )
-            pool.submit(job)
-            return
-        # Intra-query parallelism: the phase fans out into `degree`
-        # sub-jobs and the next phase starts when the last one finishes.
-        barrier = {"remaining": degree}
 
-        def _sub_done(_job: PSJob, q: Query = query) -> None:
-            barrier["remaining"] -= 1
-            if barrier["remaining"] == 0:
-                self._run_next_phase(q)
+        def advance(_job: Optional[PSJob] = None) -> None:
+            phase = query.next_phase()
+            if phase is None:
+                self._finish(query)
+                return
+            pool = pools[phase.kind]
+            if degree == 1:
+                # The pool name is label enough: per-query formatted job
+                # names cost a format call per phase, and the query is
+                # recoverable from the completion callback.
+                pool.submit(PSJob(name=phase.kind, demand=phase.demand, on_complete=advance))
+                return
+            # Intra-query parallelism: the phase fans out into `degree`
+            # sub-jobs and the next phase starts when the last one finishes.
+            barrier = {"remaining": degree}
 
-        share = phase.demand / degree
-        for worker in range(degree):
-            pool.submit(
-                PSJob(
-                    name="q{}:{}:{}".format(query.query_id, phase.kind, worker),
-                    demand=share,
-                    on_complete=_sub_done,
+            def _sub_done(_sub: PSJob) -> None:
+                barrier["remaining"] -= 1
+                if barrier["remaining"] == 0:
+                    advance()
+
+            share = phase.demand / degree
+            for worker in range(degree):
+                pool.submit(
+                    PSJob(
+                        name="q{}:{}:{}".format(query.query_id, phase.kind, worker),
+                        demand=share,
+                        on_complete=_sub_done,
+                    )
                 )
-            )
+
+        advance()
 
     def _finish(self, query: Query) -> None:
         query.state = QueryState.COMPLETED

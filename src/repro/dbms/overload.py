@@ -39,6 +39,8 @@ class OverloadModel:
         self._resources = list(resources)
         self._total_cost = 0.0
         self._peak_cost = 0.0
+        self._knee = float(config.knee_cost)
+        self._last_efficiency = 1.0
 
     @property
     def total_cost(self) -> float:
@@ -57,20 +59,29 @@ class OverloadModel:
 
     def admit(self, cost: float) -> None:
         """Account for a query entering execution."""
-        self._total_cost += cost
-        if self._total_cost > self._peak_cost:
-            self._peak_cost = self._total_cost
+        total = self._total_cost + cost
+        self._total_cost = total
+        if total > self._peak_cost:
+            self._peak_cost = total
+        # Fast path: below the knee with efficiency already at 1.0 there
+        # is nothing to propagate (the common healthy-state regime).
+        if total <= self._knee and self._last_efficiency == 1.0:
+            return
         self._apply()
 
     def retire(self, cost: float) -> None:
         """Account for a query finishing execution."""
-        self._total_cost -= cost
-        if self._total_cost < 0:
+        total = self._total_cost - cost
+        if total < 0:
             # Float drift only; never let efficiency exceed 1 via negatives.
-            self._total_cost = 0.0
+            total = 0.0
+        self._total_cost = total
+        if total <= self._knee and self._last_efficiency == 1.0:
+            return
         self._apply()
 
     def _apply(self) -> None:
         efficiency = self.efficiency
+        self._last_efficiency = efficiency
         for resource in self._resources:
             resource.set_efficiency(efficiency)

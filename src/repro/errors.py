@@ -70,3 +70,11 @@ class PatrollerError(ReproError):
     Examples: releasing a query that was never intercepted, or releasing the
     same query twice.
     """
+
+class BenchError(ReproError):
+    """A benchmark run or benchmark artifact is invalid.
+
+    Examples: a ``BENCH_*.json`` file that fails schema validation, an
+    unknown benchmark name passed to ``repro bench --only``, or a compare
+    between reports with no benchmarks in common.
+    """

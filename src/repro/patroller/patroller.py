@@ -171,7 +171,7 @@ class QueryPatroller:
         self.sim.schedule(
             self.config.interception_latency,
             lambda: self._intercept(query),
-            label="qp:intercept:{}".format(query.query_id),
+            "qp:intercept",
         )
 
     def _intercept(self, query: Query) -> None:
@@ -219,7 +219,7 @@ class QueryPatroller:
             self._pending_release[query.query_id] = self.sim.schedule(
                 self.config.release_latency,
                 lambda: self._begin_execution(query),
-                label="qp:release:{}".format(query.query_id),
+                "qp:release",
             )
         else:
             self.engine.execute(query)
@@ -274,9 +274,6 @@ class QueryPatroller:
 
     def _on_completion(self, query: Query) -> None:
         # Only queries that went through interception have table rows.
-        try:
-            record = self.tables.get(query.query_id)
-        except PatrollerError:
-            return
-        if record.status == "released":
+        record = self.tables.find(query.query_id)
+        if record is not None and record.status == "released":
             self.tables.mark_completed(query.query_id, self.sim.now)

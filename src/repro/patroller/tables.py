@@ -75,6 +75,8 @@ class QueryRecord:
 class ControlTables:
     """Append-ordered store of intercepted-query records."""
 
+    __slots__ = ("_by_id", "_log")
+
     def __init__(self) -> None:
         self._by_id: Dict[int, QueryRecord] = {}
         self._log: List[QueryRecord] = []
@@ -119,6 +121,16 @@ class ControlTables:
         if record is None:
             raise PatrollerError("no control-table record for query {}".format(query_id))
         return record
+
+    def find(self, query_id: int) -> Optional[QueryRecord]:
+        """Look up a record, or None if the query was never intercepted.
+
+        The non-raising twin of :meth:`get`: completion hooks probe the
+        tables for *every* statement, and most statements (the bypassing
+        OLTP traffic) have no row — an exception per probe is measurable
+        at replication scale.
+        """
+        return self._by_id.get(query_id)
 
     def mark_released(self, query_id: int, time: float) -> None:
         """Transition a queued record to released."""

@@ -169,14 +169,22 @@ class RealTimeTimerService:
     # ------------------------------------------------------------------
     # The loop (caller thread only)
     # ------------------------------------------------------------------
-    def _next_due(self) -> Optional[_Timer]:
-        """Pop the next due timer, or None.  Caller must hold the lock."""
+    def _next_due(self, end_time: float) -> Optional[_Timer]:
+        """Pop the next timer due within the horizon, or None.
+
+        Caller must hold the lock.  A timer is due only when the clock has
+        reached it AND it falls inside the ``run_until`` horizon: if the
+        loop thread wakes late (long callback, scheduler stall) the wall
+        clock may already be past ``end_time``, and timers scheduled
+        beyond the horizon must stay pending for the next ``run_until``
+        call rather than firing early.
+        """
         while self._heap:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if head.time <= self.clock.now:
+            if head.time <= self.clock.now and head.time <= end_time:
                 heapq.heappop(self._heap)
                 # Mark consumed so late cancel() calls become no-ops.
                 head.cancelled = True
@@ -197,7 +205,7 @@ class RealTimeTimerService:
         try:
             while True:
                 with self._cond:
-                    due = self._next_due()
+                    due = self._next_due(end_time)
                     if due is None:
                         now = self.clock.now
                         if now >= end_time:

@@ -10,12 +10,21 @@ reproducible from a seed.
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.events import DEFAULT_PRIORITY, Event, EventHandle
+from repro.sim.events import DEFAULT_PRIORITY, Event
 from repro.sim.trace import Tracer
+
+#: Heap entries are ``(time, priority, seq, event)`` tuples so the heap
+#: compares at C speed (seq is unique, so the event object never compares).
+_HeapEntry = Tuple[float, int, int, Event]
+
+#: Tombstone count past which (given tombstones outnumber live events)
+#: the heap is compacted.  Keeps cancel O(1) amortised without letting a
+#: cancel-heavy workload grow the heap without bound.
+_COMPACT_MIN_TOMBSTONES = 256
 
 
 class Simulator:
@@ -30,21 +39,18 @@ class Simulator:
     """
 
     def __init__(self, tracer: Optional[Tracer] = None) -> None:
-        self._now = 0.0
-        self._heap: List[Event] = []
+        self.now = 0.0
+        self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._fired = 0
+        self._tombstones = 0
+        self._compactions = 0
         self._running = False
         self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Clock
     # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
-
     @property
     def pending_events(self) -> int:
         """Number of events still on the heap (including tombstones)."""
@@ -55,6 +61,16 @@ class Simulator:
         """Number of events executed so far."""
         return self._fired
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still sitting in the heap as tombstones."""
+        return self._tombstones
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap was rebuilt to purge cancel tombstones."""
+        return self._compactions
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -64,17 +80,24 @@ class Simulator:
         callback: Callable[[], Any],
         label: str = "",
         priority: int = DEFAULT_PRIORITY,
-    ) -> EventHandle:
+    ) -> Event:
         """Schedule ``callback`` to fire ``delay`` seconds from now.
 
         ``delay`` must be non-negative; a zero delay fires after all events
         already scheduled for the current instant with equal priority.
+
+        Returns the :class:`Event` itself, which is its own cancellation
+        handle (``.cancel()`` / ``.active``).
         """
         if delay < 0:
             raise SimulationError(
                 "cannot schedule event {!r} with negative delay {}".format(label, delay)
             )
-        return self.schedule_at(self._now + delay, callback, label, priority)
+        time = self.now + delay
+        event = Event(time, priority, self._seq, callback, label, self)
+        heappush(self._heap, (time, priority, self._seq, event))
+        self._seq += 1
+        return event
 
     def schedule_at(
         self,
@@ -82,18 +105,34 @@ class Simulator:
         callback: Callable[[], Any],
         label: str = "",
         priority: int = DEFAULT_PRIORITY,
-    ) -> EventHandle:
+    ) -> Event:
         """Schedule ``callback`` to fire at absolute simulation time ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
                 "cannot schedule event {!r} at {} before now ({})".format(
-                    label, time, self._now
+                    label, time, self.now
                 )
             )
-        event = Event(time, priority, self._seq, callback, label)
+        event = Event(time, priority, self._seq, callback, label, self)
+        heappush(self._heap, (time, priority, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return event
+
+    def _note_cancelled(self) -> None:
+        """An EventHandle cancelled a pending event (tombstone created)."""
+        self._tombstones += 1
+        if (
+            self._tombstones >= _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._heap)
+        ):
+            # Rebuild without tombstones.  Entries carry a unique seq, so
+            # heapify restores exactly the pop order the live events had.
+            self._heap = [
+                entry for entry in self._heap if not entry[3].cancelled
+            ]
+            heapify(self._heap)
+            self._tombstones = 0
+            self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -103,16 +142,19 @@ class Simulator:
 
         Returns False when the heap is exhausted, True otherwise.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[3]
             if event.cancelled:
+                if self._tombstones > 0:
+                    self._tombstones -= 1
                 continue
-            self._now = event.time
+            self.now = event.time
             # Mark as consumed so that late cancel() calls become no-ops.
             event.cancelled = True
             self._fired += 1
             if self.tracer is not None:
-                self.tracer.record(self._now, "event", event.label)
+                self.tracer.record(self.now, "event", event.label)
             event.callback()
             return True
         return False
@@ -124,23 +166,37 @@ class Simulator:
         left at ``end_time`` even if the heap drains early, so periodic
         post-run measurements see a consistent horizon.
         """
-        if end_time < self._now:
+        if end_time < self.now:
             raise SimulationError(
-                "run_until({}) is in the past (now={})".format(end_time, self._now)
+                "run_until({}) is in the past (now={})".format(end_time, self.now)
             )
         if self._running:
             raise SimulationError("run_until() called re-entrantly from a callback")
         self._running = True
+        heap = self._heap
+        tracer = self.tracer
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                time, _, _, event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
+                    if self._tombstones > 0:
+                        self._tombstones -= 1
+                    # A compaction in a callback may have replaced the list.
+                    heap = self._heap
                     continue
-                if event.time > end_time:
+                if time > end_time:
                     break
-                self.step()
-            self._now = max(self._now, end_time)
+                heappop(heap)
+                self.now = time
+                # Mark as consumed so late cancel() calls become no-ops.
+                event.cancelled = True
+                self._fired += 1
+                if tracer is not None:
+                    tracer.record(time, "event", event.label)
+                event.callback()
+                heap = self._heap
+            self.now = max(self.now, end_time)
         finally:
             self._running = False
 
@@ -164,5 +220,5 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Simulator(now={:.6f}, pending={}, fired={})".format(
-            self._now, len(self._heap), self._fired
+            self.now, len(self._heap), self._fired
         )

@@ -21,11 +21,14 @@ DEFAULT_PRIORITY = 0
 class Event:
     """A scheduled callback inside the simulation.
 
-    Instances are created by :meth:`repro.sim.engine.Simulator.schedule`; user
-    code normally only sees the :class:`EventHandle` wrapper.
+    Instances are created by :meth:`repro.sim.engine.Simulator.schedule` and
+    returned to the caller directly: an event is its own cancellation
+    handle (it satisfies the ``TimerHandle`` protocol), so scheduling costs
+    a single allocation.  :class:`EventHandle` remains as a thin wrapper
+    for code that wants an explicit handle type.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled", "owner")
 
     def __init__(
         self,
@@ -34,6 +37,7 @@ class Event:
         seq: int,
         callback: Callable[[], Any],
         label: str = "",
+        owner: Optional[Any] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -41,6 +45,7 @@ class Event:
         self.callback = callback
         self.label = label
         self.cancelled = False
+        self.owner = owner
 
     def sort_key(self) -> tuple:
         """Total order used by the event heap."""
@@ -48,6 +53,26 @@ class Event:
 
     def __lt__(self, other: "Event") -> bool:
         return self.sort_key() < other.sort_key()
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not fired, not cancelled)."""
+        return not self.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event if still pending.
+
+        Returns True if this call cancelled the event, False if it was
+        already cancelled or has already fired (fired events are marked
+        cancelled by the engine as they execute).  The owning simulator,
+        when set, is notified so it can compact tombstones.
+        """
+        if self.cancelled:
+            return False
+        self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -58,12 +83,19 @@ class Event:
 
 
 class EventHandle:
-    """Cancellable reference to a scheduled event."""
+    """Cancellable reference to a scheduled event.
 
-    __slots__ = ("_event",)
+    ``owner`` (normally the scheduling :class:`~repro.sim.engine.Simulator`)
+    is notified of successful cancellations so it can compact tombstones
+    out of its heap once they accumulate; a bare handle without an owner
+    still cancels fine.
+    """
 
-    def __init__(self, event: Event) -> None:
+    __slots__ = ("_event", "_owner")
+
+    def __init__(self, event: Event, owner: Optional[Any] = None) -> None:
         self._event = event
+        self._owner = owner
 
     @property
     def time(self) -> float:
@@ -87,9 +119,15 @@ class EventHandle:
         already cancelled or has already fired (fired events are marked
         cancelled by the engine as they execute).
         """
-        if self._event.cancelled:
+        event = self._event
+        if event.cancelled:
             return False
-        self._event.cancelled = True
+        if event.owner is not None:
+            # The event knows its simulator; let it do the notification.
+            return event.cancel()
+        event.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
         return True
 
     def _raw(self) -> Optional[Event]:

@@ -22,16 +22,29 @@ virtual time, and every state change costs O(log n).
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional
+from heapq import heappop, heappush
+from math import ulp
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
-from repro.sim.events import EventHandle
+from repro.sim.events import Event
 
 #: Relative tolerance used when deciding whether a job's finish virtual time
-#: has been reached.  Guards against floating-point drift in the integrator.
+#: has been reached.  The completion slack for a head job is
+#: ``_EPS * (1 + demand)`` — proportional to the job's own demand — plus a
+#: few ulps of the current virtual time to absorb the integrator's
+#: accumulation error.  (An *absolute* ``vtime * _EPS`` slack, as used
+#: before, grows without bound on long runs and eventually completes jobs
+#: with real demand remaining.)
 _EPS = 1e-9
+
+#: Integrator-error allowance in ulps of the current virtual time.
+_ULPS = 16.0
+
+#: Completion-heap entries: ``(finish_vtime, seq, job)`` tuples compare at
+#: C speed; seq is unique so the job object itself never compares.
+_JobEntry = Tuple[float, int, "PSJob"]
 
 
 class PSJob:
@@ -110,11 +123,17 @@ class ProcessorSharingResource:
         self._efficiency = 1.0
         self._vtime = 0.0
         self._vtime_updated_at = sim.now
-        self._heap: List[PSJob] = []
+        self._heap: List[_JobEntry] = []
         self._njobs = 0
         self._seq = 0
-        self._timer: Optional[EventHandle] = None
+        self._timer: Optional[Event] = None
+        # (head job seq, per-job rate) the armed timer was computed for:
+        # while both are unchanged the timer's absolute fire time is still
+        # exact, so state changes that touch neither can keep it armed.
+        self._timer_key: Optional[Tuple[int, float]] = None
+        self._complete_label = "ps:{}:complete".format(name)
         # Statistics.
+        self._start_time = sim.now
         self._completed_jobs = 0
         self._completed_demand = 0.0
         self._busy_integral = 0.0  # integral of min(njobs, servers) over time
@@ -152,19 +171,37 @@ class ProcessorSharingResource:
         return self.speed * share * self._efficiency
 
     def utilization(self, horizon: Optional[float] = None) -> float:
-        """Average fraction of servers busy since the start of the run."""
+        """Average fraction of servers busy since this resource was built.
+
+        ``horizon``, when given, is the averaging window length measured
+        from the resource's construction time; it may extend *past* the
+        current instant (idle tail included in the average) but never fall
+        short of it — busy time is integrated up to ``sim.now``, so a
+        shorter window would report utilization above 1.0.  A stale
+        horizon raises :class:`~repro.errors.SimulationError`.
+        """
         self._accumulate_stats()
-        elapsed = horizon if horizon is not None else self.sim.now
+        elapsed = self.sim.now - self._start_time
+        if horizon is not None:
+            if horizon < elapsed:
+                raise SimulationError(
+                    "stale horizon {} for resource {!r}: busy time is "
+                    "integrated over {} seconds already".format(
+                        horizon, self.name, elapsed
+                    )
+                )
+            elapsed = horizon
         if elapsed <= 0:
             return 0.0
         return self._busy_integral / (elapsed * self.servers)
 
     def mean_jobs_in_service(self) -> float:
-        """Time-averaged number of jobs in service."""
+        """Time-averaged number of jobs in service since construction."""
         self._accumulate_stats()
-        if self.sim.now <= 0:
+        elapsed = self.sim.now - self._start_time
+        if elapsed <= 0:
             return 0.0
-        return self._jobs_integral / self.sim.now
+        return self._jobs_integral / elapsed
 
     # ------------------------------------------------------------------
     # Mutation
@@ -175,14 +212,55 @@ class ProcessorSharingResource:
         PS has no waiting room: admission control lives above this layer (the
         Query Patroller / dispatcher decide *when* work reaches the pools).
         """
-        self._advance()
-        job.seq = self._seq
-        self._seq += 1
-        job.start_time = self.sim.now
-        job.finish_vtime = self._vtime + job.demand
-        heapq.heappush(self._heap, job)
-        self._njobs += 1
-        self._reschedule()
+        # _advance() and _reschedule() inlined: submit is (with _on_timer)
+        # one of the two hottest entry points in the simulator, and the two
+        # call round-trips are measurable at replication scale.  The
+        # arithmetic must stay identical to the out-of-line twins.
+        now = self.sim.now
+        if now != self._vtime_updated_at or now != self._last_stat_time:
+            njobs = self._njobs
+            dt = now - self._last_stat_time
+            if dt > 0:
+                busy = njobs if njobs < self.servers else self.servers
+                self._busy_integral += busy * dt
+                self._jobs_integral += njobs * dt
+                self._last_stat_time = now
+            dt = now - self._vtime_updated_at
+            if dt > 0 and njobs > 0:
+                if njobs <= self.servers:
+                    self._vtime += dt * (self.speed * self._efficiency)
+                else:
+                    self._vtime += dt * (self.speed * (self.servers / njobs) * self._efficiency)
+            self._vtime_updated_at = now
+        seq = self._seq
+        self._seq = seq + 1
+        job.seq = seq
+        job.start_time = now
+        finish = self._vtime + job.demand
+        job.finish_vtime = finish
+        heap = self._heap
+        heappush(heap, (finish, seq, job))
+        njobs = self._njobs + 1
+        self._njobs = njobs
+        # Inline _reschedule().
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        if njobs <= self.servers:
+            rate = self.speed * self._efficiency
+        else:
+            rate = self.speed * (self.servers / njobs) * self._efficiency
+        if rate <= 0:  # pragma: no cover - efficiency is validated positive
+            raise SimulationError("resource {!r} stalled at rate 0".format(self.name))
+        key = (heap[0][1], rate)
+        timer = self._timer
+        if timer is not None:
+            if key == self._timer_key:
+                return job
+            timer.cancel()
+        remaining_v = heap[0][0] - self._vtime
+        delay = remaining_v / rate if remaining_v > 0.0 else 0.0
+        self._timer = self.sim.schedule(delay, self._on_timer, self._complete_label)
+        self._timer_key = key
         return job
 
     def cancel(self, job: PSJob) -> bool:
@@ -220,53 +298,109 @@ class ProcessorSharingResource:
     # Internals
     # ------------------------------------------------------------------
     def _accumulate_stats(self) -> None:
-        dt = self.sim.now - self._last_stat_time
+        now = self.sim.now
+        dt = now - self._last_stat_time
         if dt > 0:
-            self._busy_integral += min(self._njobs, self.servers) * dt
-            self._jobs_integral += self._njobs * dt
-            self._last_stat_time = self.sim.now
+            njobs = self._njobs
+            busy = njobs if njobs < self.servers else self.servers
+            self._busy_integral += busy * dt
+            self._jobs_integral += njobs * dt
+            self._last_stat_time = now
 
     def _advance(self) -> None:
-        """Integrate virtual time up to the current instant."""
-        self._accumulate_stats()
+        """Integrate virtual time and statistics up to the current instant."""
         now = self.sim.now
+        if now == self._vtime_updated_at and now == self._last_stat_time:
+            # Already integrated to this instant (several state changes in
+            # one event cascade share a timestamp).
+            return
+        njobs = self._njobs
+        dt = now - self._last_stat_time
+        if dt > 0:
+            busy = njobs if njobs < self.servers else self.servers
+            self._busy_integral += busy * dt
+            self._jobs_integral += njobs * dt
+            self._last_stat_time = now
         dt = now - self._vtime_updated_at
-        if dt > 0 and self._njobs > 0:
-            self._vtime += dt * self.per_job_rate()
+        if dt > 0 and njobs > 0:
+            # Inline per_job_rate(): this integrator is the hottest code
+            # in the simulator (expression order is load-bearing for
+            # bit-reproducibility — keep it identical to per_job_rate,
+            # including the branched share: multiplying by an exact 1.0
+            # preserves the other factors bit-for-bit).
+            if njobs <= self.servers:
+                self._vtime += dt * (self.speed * self._efficiency)
+            else:
+                self._vtime += dt * (self.speed * (self.servers / njobs) * self._efficiency)
         self._vtime_updated_at = now
 
     def _reschedule(self) -> None:
-        """(Re-)arm the completion timer for the earliest-finishing job."""
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        """(Re-)arm the completion timer for the earliest-finishing job.
+
+        Kept as-is when the head job and the per-job rate are both
+        unchanged: the armed timer's absolute fire time is then still the
+        head's exact completion instant, and skipping the cancel+schedule
+        round-trip avoids the tombstone churn that used to dominate the
+        event heap.
+        """
         # Drop tombstones so the heap head is a live job.
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        if not heap:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+                self._timer_key = None
             return
-        head = self._heap[0]
-        rate = self.per_job_rate()
+        njobs = self._njobs
+        if njobs <= self.servers:
+            rate = self.speed * self._efficiency
+        else:
+            rate = self.speed * (self.servers / njobs) * self._efficiency
         if rate <= 0:  # pragma: no cover - efficiency is validated positive
             raise SimulationError("resource {!r} stalled at rate 0".format(self.name))
-        remaining_v = max(0.0, head.finish_vtime - self._vtime)
-        delay = remaining_v / rate
-        self._timer = self.sim.schedule(
-            delay, self._on_timer, label="ps:{}:complete".format(self.name)
-        )
+        key = (heap[0][1], rate)
+        if self._timer is not None:
+            if key == self._timer_key:
+                return
+            self._timer.cancel()
+        remaining_v = heap[0][0] - self._vtime
+        delay = remaining_v / rate if remaining_v > 0.0 else 0.0
+        self._timer = self.sim.schedule(delay, self._on_timer, self._complete_label)
+        self._timer_key = key
 
     def _on_timer(self) -> None:
         self._timer = None
-        self._advance()
-        threshold = self._vtime * (1.0 + _EPS) + _EPS
+        # _advance() inlined (see submit() for why; arithmetic must stay
+        # identical to the out-of-line twin).
+        now = self.sim.now
+        if now != self._vtime_updated_at or now != self._last_stat_time:
+            njobs = self._njobs
+            dt = now - self._last_stat_time
+            if dt > 0:
+                busy = njobs if njobs < self.servers else self.servers
+                self._busy_integral += busy * dt
+                self._jobs_integral += njobs * dt
+                self._last_stat_time = now
+            dt = now - self._vtime_updated_at
+            if dt > 0 and njobs > 0:
+                if njobs <= self.servers:
+                    self._vtime += dt * (self.speed * self._efficiency)
+                else:
+                    self._vtime += dt * (self.speed * (self.servers / njobs) * self._efficiency)
+            self._vtime_updated_at = now
+        vtime = self._vtime
+        drift = _ULPS * ulp(vtime)
         finished: List[PSJob] = []
-        while self._heap:
-            head = self._heap[0]
+        heap = self._heap
+        while heap:
+            head = heap[0][2]
             if head.cancelled:
-                heapq.heappop(self._heap)
+                heappop(heap)
                 continue
-            if head.finish_vtime <= threshold:
-                heapq.heappop(self._heap)
+            if head.finish_vtime - vtime <= _EPS * (1.0 + head.demand) + drift:
+                heappop(heap)
                 finished.append(head)
                 continue
             break
@@ -276,10 +410,10 @@ class ProcessorSharingResource:
             return
         self._njobs -= len(finished)
         for job in finished:
-            job.finish_time = self.sim.now
+            job.finish_time = now
             job.cancelled = True  # block late cancel() calls
-            self._completed_jobs += 1
             self._completed_demand += job.demand
+        self._completed_jobs += len(finished)
         # Re-arm before invoking callbacks: callbacks may submit new work.
         self._reschedule()
         for job in finished:

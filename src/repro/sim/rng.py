@@ -10,7 +10,8 @@ keyed by a stable hash of the stream name.
 from __future__ import annotations
 
 import zlib
-from typing import Dict
+from bisect import bisect_right
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -22,6 +23,13 @@ def _stable_key(name: str) -> int:
     stable across runs and platforms.
     """
     return zlib.crc32(name.encode("utf-8"))
+
+
+#: Draws prefetched per (stream, distribution) block.  A numpy scalar draw
+#: costs over a microsecond in interpreter/dispatch overhead; vectorized
+#: blocks produce the same values draw-for-draw (numpy fills arrays from
+#: the bit stream in index order) at a fraction of that.
+_BLOCK = 512
 
 
 class RandomStreams:
@@ -38,6 +46,17 @@ class RandomStreams:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        # choice_index() fast path: cached normalized cdf per weight vector.
+        self._cdfs: Dict[Tuple[float, ...], List[float]] = {}
+        # Prefetched draw blocks, keyed by (name, distribution, params):
+        # ``[values, next_index]``.  Values are identical to scalar draws as
+        # long as each stream is consumed through a single distribution
+        # method with fixed parameters (which is how every component here
+        # uses its streams — that is the whole point of named streams).
+        # Mixing methods on one stream stays deterministic, but interleaves
+        # the underlying bit stream differently than unbuffered scalar
+        # draws would.
+        self._blocks: Dict[tuple, list] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
@@ -56,7 +75,13 @@ class RandomStreams:
 
     def exponential(self, name: str, mean: float) -> float:
         """One exponential draw with the given mean from stream ``name``."""
-        return float(self.stream(name).exponential(mean))
+        block = self._blocks.get((name, "exp", mean))
+        if block is None or block[1] >= _BLOCK:
+            block = [self.stream(name).exponential(mean, size=_BLOCK).tolist(), 0]
+            self._blocks[(name, "exp", mean)] = block
+        pos = block[1]
+        block[1] = pos + 1
+        return block[0][pos]
 
     def lognormal_factor(self, name: str, sigma: float) -> float:
         """A multiplicative lognormal noise factor with median 1.
@@ -66,19 +91,56 @@ class RandomStreams:
         """
         if sigma <= 0.0:
             return 1.0
-        return float(self.stream(name).lognormal(mean=0.0, sigma=sigma))
+        block = self._blocks.get((name, "logn", sigma))
+        if block is None or block[1] >= _BLOCK:
+            block = [
+                self.stream(name).lognormal(mean=0.0, sigma=sigma, size=_BLOCK).tolist(),
+                0,
+            ]
+            self._blocks[(name, "logn", sigma)] = block
+        pos = block[1]
+        block[1] = pos + 1
+        return block[0][pos]
 
     def uniform(self, name: str, low: float, high: float) -> float:
         """One uniform draw in [low, high) from stream ``name``."""
-        return float(self.stream(name).uniform(low, high))
+        block = self._blocks.get((name, "unif", low, high))
+        if block is None or block[1] >= _BLOCK:
+            block = [self.stream(name).uniform(low, high, size=_BLOCK).tolist(), 0]
+            self._blocks[(name, "unif", low, high)] = block
+        pos = block[1]
+        block[1] = pos + 1
+        return block[0][pos]
 
     def choice_index(self, name: str, weights) -> int:
-        """Draw an index with probability proportional to ``weights``."""
-        weights = np.asarray(weights, dtype=float)
-        total = weights.sum()
-        if total <= 0:
-            raise ValueError("choice_index needs at least one positive weight")
-        return int(self.stream(name).choice(len(weights), p=weights / total))
+        """Draw an index with probability proportional to ``weights``.
+
+        Draw-for-draw identical to ``Generator.choice(len(weights),
+        p=weights/total)`` — one uniform double inverted through the
+        normalized cumulative distribution — but the cdf is cached per
+        weight vector, which keeps this O(log n) with no array
+        construction on the hot path.
+        """
+        key = tuple(weights)
+        cdf = self._cdfs.get(key)
+        if cdf is None:
+            array = np.asarray(weights, dtype=float)
+            total = array.sum()
+            if total <= 0:
+                raise ValueError("choice_index needs at least one positive weight")
+            # Mirror numpy's Generator.choice exactly: normalize, cumsum,
+            # re-normalize the cdf so its last entry is exactly 1.0.
+            normalized = (array / total).cumsum()
+            normalized /= normalized[-1]
+            cdf = normalized.tolist()
+            self._cdfs[key] = cdf
+        block = self._blocks.get((name, "random"))
+        if block is None or block[1] >= _BLOCK:
+            block = [self.stream(name).random(_BLOCK).tolist(), 0]
+            self._blocks[(name, "random")] = block
+        pos = block[1]
+        block[1] = pos + 1
+        return bisect_right(cdf, block[0][pos])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "RandomStreams(seed={}, streams={})".format(

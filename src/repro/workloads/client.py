@@ -57,6 +57,10 @@ class ClosedLoopClient:
         self._in_flight: Optional[Query] = None
         #: Optional hook fired on every completion (used by tests).
         self.on_query_complete: Optional[Callable[[Query], None]] = None
+        # Event labels are fixed per client; formatting them per statement
+        # shows up in profiles at replication scale.
+        self._think_label = "client:{}:think".format(client_id)
+        self._patience_label = "client:{}:patience".format(client_id)
 
     @property
     def busy(self) -> bool:
@@ -85,7 +89,7 @@ class ClosedLoopClient:
             self.sim.schedule(
                 self.patience,
                 lambda q=query: self._maybe_abandon(q),
-                label="client:{}:patience".format(self.client_id),
+                self._patience_label,
             )
 
     def _maybe_abandon(self, query: Query) -> None:
@@ -118,7 +122,7 @@ class ClosedLoopClient:
             self.sim.schedule(
                 self.think_time,
                 self._maybe_submit,
-                label="client:{}:think".format(self.client_id),
+                self._think_label,
             )
         else:
             self._submit_next()

@@ -89,6 +89,14 @@ class WorkloadMix:
         if len(self._by_name) != len(self.templates):
             raise WorkloadError("workload mix {!r} has duplicate template names".format(name))
         self._weights = [t.weight for t in self.templates]
+        # Hot-path caches for QueryFactory.create: the selection-stream
+        # name, the weight vector as a hashable tuple (the RNG's cdf-cache
+        # key), and each template's demand-noise stream name.
+        self._mix_stream = "mix:{}".format(name)
+        self._weights_key = tuple(self._weights)
+        self._demand_streams = {
+            t.name: "demand:{}".format(t.name) for t in self.templates
+        }
 
     def __len__(self) -> int:
         return len(self.templates)
@@ -154,9 +162,9 @@ class QueryFactory:
         if template_name is not None:
             template = mix.template(template_name)
         else:
-            index = self.rng.choice_index("mix:{}".format(mix.name), mix.weights)
+            index = self.rng.choice_index(mix._mix_stream, mix._weights_key)
             template = mix.templates[index]
-        stream = "demand:{}".format(template.name)
+        stream = mix._demand_streams[template.name]
         factor = self.rng.lognormal_factor(stream, template.variability)
         cpu_demand = template.cpu_demand * factor
         io_demand = template.io_demand * factor

@@ -1,0 +1,70 @@
+"""Tests for the ``repro bench`` CLI subcommand."""
+
+from repro.bench import BenchReport
+from repro.cli import main
+
+from tests.bench.test_report import make_report
+
+
+def test_bench_smoke_writes_next_numbered_report(tmp_path, capsys):
+    code = main([
+        "bench", "--smoke", "--quiet",
+        "--only", "solver_exhaustive",
+        "--dir", str(tmp_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bench report" in out
+    assert "solver_exhaustive" in out
+    path = tmp_path / "BENCH_0.json"
+    assert path.exists()
+    report = BenchReport.load(str(path))
+    assert report.smoke is True
+    assert report.trials == 1  # --smoke defaults to one trial
+
+
+def test_bench_explicit_output_path(tmp_path, capsys):
+    target = tmp_path / "custom.json"
+    code = main([
+        "bench", "--smoke", "--quiet",
+        "--only", "solver_exhaustive",
+        "--output", str(target),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert target.exists()
+    assert "wrote {}".format(target) in out
+
+
+def test_bench_compare_prints_delta_table(tmp_path, capsys):
+    before_path = str(tmp_path / "BENCH_0.json")
+    after_path = str(tmp_path / "BENCH_1.json")
+    make_report(queries_per_s=100.0).save(before_path)
+    make_report(queries_per_s=250.0).save(after_path)
+    code = main(["bench", "--compare", before_path, after_path])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "queries_per_s" in out
+    assert "2.50x" in out
+    assert "+150.0%" in out
+
+
+def test_bench_unknown_name_fails_cleanly(tmp_path, capsys):
+    code = main([
+        "bench", "--smoke", "--quiet",
+        "--only", "warp_drive", "--dir", str(tmp_path),
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown benchmark" in err
+
+
+def test_bench_compare_rejects_corrupt_report(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    good = tmp_path / "good.json"
+    make_report().save(str(good))
+    code = main(["bench", "--compare", str(bad), str(good)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "bench error" in err

@@ -1,0 +1,168 @@
+"""Tests for the BENCH_<n>.json schema, round-trip, and comparison math."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    BenchmarkResult,
+    MetricDelta,
+    compare_reports,
+    format_comparison,
+    next_bench_path,
+    validate_report,
+)
+from repro.errors import BenchError
+
+
+def make_report(queries_per_s=100.0, solves_per_s=50.0):
+    return BenchReport(
+        machine={"platform": "test", "python": "3", "cpu_count": 1},
+        sha="deadbeef",
+        trials=3,
+        smoke=False,
+        benchmarks={
+            "replication": BenchmarkResult(
+                name="replication",
+                kind="macro",
+                description="macro bench",
+                metrics={
+                    "queries_per_s": {
+                        "mean": queries_per_s,
+                        "std": 1.0,
+                        "min": queries_per_s - 1,
+                        "max": queries_per_s + 1,
+                        "trials": 3,
+                    }
+                },
+            ),
+            "solver_greedy": BenchmarkResult(
+                name="solver_greedy",
+                kind="micro",
+                description="micro bench",
+                metrics={
+                    "solves_per_s": {
+                        "mean": solves_per_s,
+                        "std": 0.5,
+                        "min": solves_per_s - 1,
+                        "max": solves_per_s + 1,
+                        "trials": 3,
+                    }
+                },
+            ),
+        },
+    )
+
+
+def test_round_trip_through_disk(tmp_path):
+    report = make_report()
+    path = str(tmp_path / "BENCH_0.json")
+    report.save(path)
+    loaded = BenchReport.load(path)
+    assert loaded.schema_version == BENCH_SCHEMA_VERSION
+    assert loaded.sha == "deadbeef"
+    assert loaded.trials == 3
+    assert loaded.smoke is False
+    assert set(loaded.benchmarks) == {"replication", "solver_greedy"}
+    assert loaded.to_dict() == report.to_dict()
+
+
+def test_saved_file_is_sorted_pretty_json(tmp_path):
+    path = str(tmp_path / "BENCH_0.json")
+    make_report().save(path)
+    with open(path) as handle:
+        text = handle.read()
+    assert text.endswith("\n")
+    document = json.loads(text)
+    assert document == json.loads(json.dumps(document, sort_keys=True))
+
+
+def test_validate_rejects_wrong_schema_version():
+    document = make_report().to_dict()
+    document["schema_version"] = BENCH_SCHEMA_VERSION + 1
+    with pytest.raises(BenchError, match="schema version"):
+        validate_report(document)
+
+
+def test_validate_rejects_missing_keys_and_bad_kinds():
+    document = make_report().to_dict()
+    del document["machine"]
+    with pytest.raises(BenchError, match="machine"):
+        validate_report(document)
+    document = make_report().to_dict()
+    document["benchmarks"]["replication"]["kind"] = "mega"
+    with pytest.raises(BenchError, match="kind"):
+        validate_report(document)
+
+
+def test_validate_rejects_non_numeric_stats():
+    document = make_report().to_dict()
+    stats = document["benchmarks"]["replication"]["metrics"]["queries_per_s"]
+    stats["mean"] = "fast"
+    with pytest.raises(BenchError, match="must be numeric"):
+        validate_report(document)
+
+
+def test_load_rejects_corrupt_file(tmp_path):
+    path = tmp_path / "BENCH_0.json"
+    path.write_text("{not json")
+    with pytest.raises(BenchError, match="cannot read"):
+        BenchReport.load(str(path))
+
+
+def test_next_bench_path_numbers_sequentially(tmp_path):
+    assert next_bench_path(str(tmp_path)).endswith("BENCH_0.json")
+    (tmp_path / "BENCH_0.json").write_text("{}")
+    (tmp_path / "BENCH_3.json").write_text("{}")
+    (tmp_path / "BENCH_x.json").write_text("{}")  # ignored: not a number
+    assert next_bench_path(str(tmp_path)).endswith("BENCH_4.json")
+
+
+def test_metric_delta_math():
+    delta = MetricDelta("replication", "queries_per_s", before=100.0, after=250.0)
+    assert delta.ratio == pytest.approx(2.5)
+    assert delta.percent == pytest.approx(150.0)
+    regressed = MetricDelta("replication", "queries_per_s", before=200.0, after=150.0)
+    assert regressed.ratio == pytest.approx(0.75)
+    assert regressed.percent == pytest.approx(-25.0)
+    from_zero = MetricDelta("x", "y", before=0.0, after=5.0)
+    assert from_zero.ratio == float("inf")
+    zero_to_zero = MetricDelta("x", "y", before=0.0, after=0.0)
+    assert zero_to_zero.ratio == pytest.approx(1.0)
+
+
+def test_compare_reports_deltas():
+    before = make_report(queries_per_s=100.0, solves_per_s=50.0)
+    after = make_report(queries_per_s=300.0, solves_per_s=60.0)
+    deltas = compare_reports(before, after)
+    # Ordered by benchmark then metric, one delta per shared metric.
+    assert [(d.benchmark, d.metric) for d in deltas] == [
+        ("replication", "queries_per_s"),
+        ("solver_greedy", "solves_per_s"),
+    ]
+    assert deltas[0].ratio == pytest.approx(3.0)
+    assert deltas[1].percent == pytest.approx(20.0)
+    table = format_comparison(deltas)
+    assert "3.00x" in table
+    assert "+20.0%" in table
+
+
+def test_compare_reports_requires_shared_benchmarks():
+    before = make_report()
+    after = make_report()
+    after.benchmarks = {
+        "other": BenchmarkResult("other", "micro", "", {
+            "m": {"mean": 1.0, "std": 0.0, "min": 1.0, "max": 1.0, "trials": 1}
+        })
+    }
+    with pytest.raises(BenchError, match="share no benchmarks"):
+        compare_reports(before, after)
+
+
+def test_metric_mean_raises_on_unknown_metric():
+    result = make_report().benchmarks["replication"]
+    assert result.metric_mean("queries_per_s") == pytest.approx(100.0)
+    with pytest.raises(BenchError, match="no metric"):
+        result.metric_mean("nonexistent")

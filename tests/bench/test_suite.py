@@ -1,0 +1,83 @@
+"""Tests for the ``repro bench`` suite runner (smoke scales only)."""
+
+import pytest
+
+from repro.bench import (
+    BENCH_NAMES,
+    BenchReport,
+    BenchScale,
+    format_report,
+    run_suite,
+)
+from repro.bench.suite import BENCH_CASES
+from repro.errors import BenchError
+
+
+def test_scale_smoke_is_smaller_than_full():
+    smoke, full = BenchScale(smoke=True), BenchScale(smoke=False)
+    assert smoke.timer_events < full.timer_events
+    assert smoke.ps_jobs < full.ps_jobs
+    assert smoke.solver_solves < full.solver_solves
+    assert smoke.replication_periods < full.replication_periods
+
+
+def test_suite_rejects_zero_trials():
+    with pytest.raises(BenchError, match="at least one trial"):
+        run_suite(trials=0, smoke=True)
+
+
+def test_suite_rejects_unknown_benchmark():
+    with pytest.raises(BenchError, match="unknown benchmark"):
+        run_suite(trials=1, smoke=True, only=["warp_drive"])
+
+
+def test_smoke_suite_round_trips_and_reports(tmp_path):
+    progress_calls = []
+    report = run_suite(
+        trials=1,
+        smoke=True,
+        only=["solver_exhaustive", "solver_greedy"],
+        progress=lambda name, trial, metrics: progress_calls.append((name, trial)),
+    )
+    assert progress_calls == [("solver_exhaustive", 0), ("solver_greedy", 0)]
+    assert report.smoke is True
+    assert report.trials == 1
+    for name in ("solver_exhaustive", "solver_greedy"):
+        stats = report.benchmarks[name].metrics
+        assert stats["solves_per_s"]["mean"] > 0
+        assert stats["wall_s"]["trials"] == 1
+    # The report validates against the schema and survives disk round-trip.
+    path = str(tmp_path / "BENCH_0.json")
+    report.save(path)
+    loaded = BenchReport.load(path)
+    assert loaded.to_dict() == report.to_dict()
+    table = format_report(report)
+    assert "solver_exhaustive" in table and "solves_per_s" in table
+
+
+def test_micro_benchmarks_are_deterministic_in_work_done():
+    """Wall time varies; the simulated work of each bench must not."""
+    scale = BenchScale(smoke=True)
+    by_name = {case.name: case for case in BENCH_CASES}
+    first = by_name["timer_heap"].run(scale)
+    second = by_name["timer_heap"].run(scale)
+    assert first["fired_events"] == second["fired_events"]
+    first = by_name["ps_resource"].run(scale)
+    second = by_name["ps_resource"].run(scale)
+    assert first["completed_jobs"] == second["completed_jobs"]
+
+
+def test_smoke_replication_bench_is_deterministic():
+    scale = BenchScale(smoke=True)
+    case = next(c for c in BENCH_CASES if c.name == "replication")
+    assert case.kind == "macro"
+    first = case.run(scale)
+    second = case.run(scale)
+    assert first["completed_queries"] > 0
+    assert first["completed_queries"] == second["completed_queries"]
+    assert first["queries_per_s"] > 0
+
+
+def test_bench_names_match_cases():
+    assert BENCH_NAMES == tuple(case.name for case in BENCH_CASES)
+    assert set(case.kind for case in BENCH_CASES) == {"micro", "macro"}

@@ -1,0 +1,74 @@
+"""run_until horizon semantics of the real-time timer service.
+
+A late-waking loop thread may observe a wall clock already past the
+``run_until`` horizon.  Timers scheduled beyond the horizon must stay
+pending for the next ``run_until`` call — firing them early would hand a
+later control interval's work to the current one.
+"""
+
+from repro.runtime import RealTimeTimerService
+
+
+class SteppedClock:
+    """Manually advanced clock for deterministic timer-service tests."""
+
+    def __init__(self, t=0.0):
+        self.t = t
+
+    @property
+    def now(self):
+        return self.t
+
+
+def test_timer_beyond_horizon_does_not_fire_when_clock_overshoots():
+    # The loop thread wakes with the clock already at t=10 (e.g. a long
+    # callback stalled it), but this run_until call's horizon is t=2: the
+    # timer due at t=5 belongs to a later call.
+    clock = SteppedClock(t=10.0)
+    service = RealTimeTimerService(clock)
+    fired = []
+    service.schedule_at(5.0, lambda: fired.append("late"), "late")
+    service.run_until(2.0)
+    assert fired == []
+    assert service.pending_events == 1
+    assert service.fired_events == 0
+    # The next call whose horizon covers it fires it normally.
+    service.run_until(10.0)
+    assert fired == ["late"]
+    assert service.pending_events == 0
+
+
+def test_overdue_timers_within_horizon_fire_in_schedule_order():
+    clock = SteppedClock(t=10.0)
+    service = RealTimeTimerService(clock)
+    fired = []
+    service.schedule_at(6.0, lambda: fired.append("b"), "b")
+    service.schedule_at(3.0, lambda: fired.append("a"), "a")
+    service.schedule_at(12.0, lambda: fired.append("future"), "future")
+    service.run_until(10.0)
+    # Both overdue timers fire, earliest due time first; the t=12 timer
+    # is past the horizon (and the clock) so it stays pending.
+    assert fired == ["a", "b"]
+    assert service.pending_events == 1
+
+
+def test_timer_exactly_at_horizon_fires():
+    clock = SteppedClock(t=10.0)
+    service = RealTimeTimerService(clock)
+    fired = []
+    service.schedule_at(2.0, lambda: fired.append("edge"), "edge")
+    service.run_until(2.0)
+    assert fired == ["edge"]
+
+
+def test_cancelled_timer_beyond_horizon_is_not_resurrected():
+    clock = SteppedClock(t=10.0)
+    service = RealTimeTimerService(clock)
+    fired = []
+    handle = service.schedule_at(5.0, lambda: fired.append("x"), "x")
+    service.run_until(2.0)
+    assert handle.active
+    handle.cancel()
+    service.run_until(10.0)
+    assert fired == []
+    assert service.pending_events == 0

@@ -1,0 +1,146 @@
+"""Regression tests for PS-pool accounting and heap-compaction behaviour.
+
+These pin the fixes that rode along with the hot-path optimization work:
+the utilization horizon window, elapsed-since-construction averaging,
+the demand-proportional completion tolerance at large virtual times, and
+the simulator's tombstone compaction.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import _COMPACT_MIN_TOMBSTONES, Simulator
+from repro.sim.resources import ProcessorSharingResource, PSJob
+
+
+# ----------------------------------------------------------------------
+# Utilization / mean-jobs accounting
+# ----------------------------------------------------------------------
+def test_utilization_horizon_extends_window():
+    sim = Simulator()
+    pool = ProcessorSharingResource(sim, "pool", servers=1)
+    pool.submit(PSJob("j", 2.0))
+    sim.run()
+    assert pool.utilization() == pytest.approx(1.0)
+    # A horizon past "now" dilutes the average with the idle tail.
+    assert pool.utilization(horizon=4.0) == pytest.approx(0.5)
+
+
+def test_utilization_rejects_stale_horizon():
+    sim = Simulator()
+    pool = ProcessorSharingResource(sim, "pool", servers=1)
+    pool.submit(PSJob("j", 2.0))
+    sim.run()
+    # Busy time is already integrated over 2 seconds; a 1-second window
+    # would report utilization above 1.0.
+    with pytest.raises(SimulationError, match="stale horizon"):
+        pool.utilization(horizon=1.0)
+
+
+def test_accounting_measures_from_construction_not_time_zero():
+    # A pool built at t=10 that is then busy for 2 seconds is 100% busy,
+    # not 2/12 busy: both averages must use elapsed-since-construction.
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert sim.now == 10.0
+    pool = ProcessorSharingResource(sim, "late", servers=1)
+    pool.submit(PSJob("j", 2.0))
+    sim.run()
+    assert sim.now == pytest.approx(12.0)
+    assert pool.utilization() == pytest.approx(1.0)
+    assert pool.mean_jobs_in_service() == pytest.approx(1.0)
+
+
+def test_idle_pool_reports_zero_averages():
+    sim = Simulator()
+    pool = ProcessorSharingResource(sim, "idle", servers=2)
+    assert pool.utilization() == 0.0
+    assert pool.mean_jobs_in_service() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Long-horizon completion tolerance
+# ----------------------------------------------------------------------
+def test_completion_tolerance_does_not_drift_at_large_vtime():
+    # The completion slack is proportional to the job's own demand plus a
+    # few ulps of the virtual clock.  An absolute vtime-proportional
+    # tolerance would, at vtime ~1e9, carry ~1 second of slack and
+    # complete a demand-1.0 job the instant it was submitted.
+    sim = Simulator()
+    pool = ProcessorSharingResource(sim, "pool", servers=1)
+    pool.submit(PSJob("big", 1e9))
+    sim.run()
+    assert sim.now == pytest.approx(1e9)
+    finish = []
+    pool.submit(PSJob("small", 1.0, on_complete=lambda j: finish.append(sim.now)))
+    assert finish == []  # must not complete on submission
+    sim.run()
+    assert len(finish) == 1
+    elapsed = finish[0] - 1e9
+    assert elapsed == pytest.approx(1.0, rel=1e-6)
+    assert elapsed > 0.9
+
+
+def test_long_run_preserves_short_job_ordering():
+    # Two unequal jobs submitted at vtime ~1e9 must still complete in
+    # demand order with correct spacing.
+    sim = Simulator()
+    pool = ProcessorSharingResource(sim, "pool", servers=2)
+    pool.submit(PSJob("warmup", 1e9))
+    sim.run()
+    order = []
+    pool.submit(PSJob("a", 2.0, on_complete=lambda j: order.append((j.name, sim.now))))
+    pool.submit(PSJob("b", 5.0, on_complete=lambda j: order.append((j.name, sim.now))))
+    sim.run()
+    assert [name for name, _ in order] == ["a", "b"]
+    assert order[0][1] - 1e9 == pytest.approx(2.0, rel=1e-6)
+    assert order[1][1] - 1e9 == pytest.approx(5.0, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Tombstone compaction
+# ----------------------------------------------------------------------
+def test_cancel_storm_triggers_compaction():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(50.0, lambda: fired.append("keep"))
+    handles = [
+        sim.schedule(1.0 + index * 0.001, lambda: fired.append("dead"))
+        for index in range(2 * _COMPACT_MIN_TOMBSTONES)
+    ]
+    for handle in handles:
+        handle.cancel()
+    # Tombstones outnumbered live events, so the heap was rebuilt.
+    assert sim.compactions >= 1
+    assert sim.cancelled_pending < _COMPACT_MIN_TOMBSTONES
+    assert sim.pending_events < len(handles)
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.cancelled  # consumed
+
+
+def test_small_cancel_count_defers_compaction():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None).cancel()
+    assert sim.compactions == 0
+    assert sim.cancelled_pending == 10
+    sim.run()
+    assert sim.cancelled_pending == 0
+
+
+def test_compaction_preserves_fire_order():
+    sim = Simulator()
+    fired = []
+    for index in range(100):
+        sim.schedule(float(100 - index), lambda i=index: fired.append(i))
+    doomed = [
+        sim.schedule(0.5, lambda: fired.append("dead"))
+        for _ in range(2 * _COMPACT_MIN_TOMBSTONES)
+    ]
+    for handle in doomed:
+        handle.cancel()
+    assert sim.compactions >= 1
+    sim.run()
+    assert fired == list(reversed(range(100)))

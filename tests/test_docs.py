@@ -27,6 +27,7 @@ def test_required_documents_exist():
         "docs/TUTORIAL.md",
         "docs/CALIBRATION.md",
         "docs/VALIDATION.md",
+        "docs/BENCHMARKS.md",
     ):
         assert os.path.exists(os.path.join(REPO, relpath)), relpath
 
