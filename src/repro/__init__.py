@@ -36,6 +36,7 @@ from repro.errors import (
     ConfigurationError,
     PatrollerError,
     ReproError,
+    ScenarioError,
     SchedulingError,
     SimulationError,
     WorkloadError,
@@ -50,6 +51,14 @@ from repro.experiments import (
     run_spec,
     sweep,
     sweep_system_cost_limit,
+)
+from repro.scenarios import (
+    ScenarioSpec,
+    find_scenario,
+    library_names,
+    load_scenario,
+    loads_scenario,
+    to_experiment_spec,
 )
 from repro.workloads import paper_schedule, tpcc_mix, tpch_mix
 
@@ -80,6 +89,12 @@ __all__ = [
     "replicate",
     "compare",
     "sweep",
+    "ScenarioSpec",
+    "load_scenario",
+    "loads_scenario",
+    "find_scenario",
+    "library_names",
+    "to_experiment_spec",
     "paper_schedule",
     "tpch_mix",
     "tpcc_mix",
@@ -87,6 +102,7 @@ __all__ = [
     "ConfigurationError",
     "SimulationError",
     "SchedulingError",
+    "ScenarioError",
     "WorkloadError",
     "PatrollerError",
 ]

@@ -3,6 +3,8 @@
 Subcommands::
 
     python -m repro run        # run a controller on the paper workload
+    python -m repro run --scenario flash-crowd   # ... or on a named scenario
+    python -m repro scenarios  # list / validate the YAML scenario library
     python -m repro calibrate  # throughput-vs-system-cost-limit sweep
     python -m repro figure     # regenerate one of the paper's figures
     python -m repro trace      # run the Query Scheduler, dump telemetry JSONL
@@ -67,27 +69,96 @@ def _build_config(args: argparse.Namespace):
     )
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    # Workload-scale defaults depend on the backend: the sim runs minutes
-    # of virtual time for free, the sqlite backend burns real wall-clock.
-    sim_defaults = (9, 120.0, 60.0)
-    sqlite_defaults = (3, 2.0, 1.0)
-    defaults = sim_defaults if args.backend == "sim" else sqlite_defaults
-    if args.periods is None:
-        args.periods = defaults[0]
-    if args.period_seconds is None:
-        args.period_seconds = defaults[1]
-    if args.control_interval is None:
-        args.control_interval = defaults[2]
-    config = _build_config(args)
-    result = run_experiment(
-        controller=args.controller,
-        config=config,
+def _scenario_result(args: argparse.Namespace):
+    """Resolve, compile and run ``--scenario``; returns the result."""
+    from repro.experiments.runner import run_spec
+    from repro.scenarios import find_scenario, to_experiment_spec
+
+    scenario = find_scenario(args.scenario)
+    spec = to_experiment_spec(
+        scenario,
+        smoke=args.smoke,
         invariants=args.invariants,
-        tracing=bool(args.trace_events),
-        backend=args.backend,
-        horizon=args.horizon,
+        seed=args.seed,
     )
+    overrides = {"tracing": bool(args.trace_events)}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    spec = spec.with_overrides(**overrides)
+    print(
+        "scenario {} (controller={}, backend={}, {} periods x {:g}s, "
+        "invariants={}{})".format(
+            scenario.name,
+            spec.controller,
+            spec.backend,
+            spec.schedule.num_periods,
+            spec.schedule.period_seconds,
+            spec.invariants,
+            ", smoke" if args.smoke else "",
+        )
+    )
+    if scenario.description:
+        print(scenario.description.strip())
+    return run_spec(spec)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import ScenarioError
+
+    if args.smoke and not args.scenario:
+        print("--smoke only applies to --scenario runs", file=sys.stderr)
+        return 2
+    if args.scenario:
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--periods", args.periods),
+                ("--period-seconds", args.period_seconds),
+                ("--control-interval", args.control_interval),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            print(
+                "{} conflict with --scenario (the scenario owns the "
+                "schedule; use 'control:' overrides in the file)".format(
+                    ", ".join(conflicting)
+                ),
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            result = _scenario_result(args)
+        except ScenarioError as exc:
+            print("scenario error: {}".format(exc), file=sys.stderr)
+            return 2
+    else:
+        backend = args.backend if args.backend is not None else "sim"
+        # Workload-scale defaults depend on the backend: the sim runs
+        # minutes of virtual time for free, the sqlite backend burns real
+        # wall-clock.
+        sim_defaults = (9, 120.0, 60.0)
+        sqlite_defaults = (3, 2.0, 1.0)
+        defaults = sim_defaults if backend == "sim" else sqlite_defaults
+        if args.periods is None:
+            args.periods = defaults[0]
+        if args.period_seconds is None:
+            args.period_seconds = defaults[1]
+        if args.control_interval is None:
+            args.control_interval = defaults[2]
+        if args.seed is None:
+            args.seed = 7
+        config = _build_config(args)
+        result = run_experiment(
+            controller=args.controller,
+            config=config,
+            invariants=args.invariants or "off",
+            tracing=bool(args.trace_events),
+            backend=backend,
+            horizon=args.horizon,
+        )
     if args.output:
         from repro.metrics.export import save_result
 
@@ -112,13 +183,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
                               title="Per-period goal metrics"))
     print()
     print(format_summary(result.collector, result.classes, title="Attainment"))
-    if args.controller in ("qs", "qs_detect"):
+    if result.controller_name in ("qs", "qs_detect"):
         print()
         print(format_plan_table(
             result.collector,
             [c.name for c in result.classes],
             title="Class cost limits (period means, timerons)",
         ))
+    injector = result.extras.get("faults")
+    if injector is not None:
+        print()
+        print("Injected faults ({}):".format(len(injector.injected)))
+        for entry in injector.injected:
+            details = ", ".join(
+                "{}={}".format(k, v)
+                for k, v in entry.items()
+                if k not in ("fault", "time")
+            )
+            print("  t={:<10.3f} {}{}".format(
+                entry["time"], entry["fault"],
+                " ({})".format(details) if details else "",
+            ))
     harness = result.extras.get("validation")
     if harness is not None:
         print()
@@ -293,6 +378,102 @@ def _cmd_spans(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.errors import ScenarioError
+    from repro.scenarios import (
+        find_scenario,
+        library_names,
+        library_paths,
+        load_scenario,
+        validate_library,
+    )
+
+    if args.validate_all:
+        failures = list(validate_library())
+        for path in args.name or []:
+            # Extra positional args with --validate-all: validate files too.
+            try:
+                load_scenario(path)
+            except ScenarioError as exc:
+                failures.append((path, str(exc)))
+        names = library_names() + list(args.name or [])
+        for name, error in failures:
+            print("INVALID {}: {}".format(name, error), file=sys.stderr)
+        print(
+            "{} of {} scenarios valid".format(
+                len(names) - len(failures), len(names)
+            )
+        )
+        return 1 if failures else 0
+    if args.name:
+        try:
+            scenario = find_scenario(args.name[0])
+        except ScenarioError as exc:
+            print("scenario error: {}".format(exc), file=sys.stderr)
+            return 2
+        print("{} (format v{})".format(scenario.name, scenario.version))
+        if scenario.description:
+            print(scenario.description.strip())
+        print(
+            "controller={} backend={} invariants={} seed={} "
+            "{} periods x {:g}s".format(
+                scenario.controller, scenario.backend, scenario.invariants,
+                scenario.seed, scenario.num_periods, scenario.period_seconds,
+            )
+        )
+        for cls in scenario.classes:
+            print("  {:<10} {:<5} {}={:g} importance={:g}".format(
+                cls.name, cls.kind, cls.goal_metric, cls.goal_value,
+                cls.importance,
+            ))
+        if scenario.control:
+            print("control overrides:")
+            for path in sorted(scenario.control):
+                print("  {} = {}".format(path, scenario.control[path]))
+        print()
+        print(format_figure_series(
+            {
+                name: list(map(float, counts))
+                for name, counts in scenario.resolved_counts().items()
+            },
+            x_label="period",
+            title="clients per period",
+            digits=0,
+        ))
+        if scenario.faults:
+            print()
+            print("faults:")
+            for fault in scenario.faults:
+                when = fault.seconds(scenario.period_seconds)
+                details = ", ".join(
+                    "{}={}".format(k.replace("class_name", "class"), v)
+                    for k, v in fault.params.items()
+                )
+                print("  t={:<10.3f} {}{}".format(
+                    when, fault.kind,
+                    " ({})".format(details) if details else "",
+                ))
+        return 0
+    print("{} library scenarios (repro run --scenario <name>):".format(
+        len(library_paths())
+    ))
+    for name in library_names():
+        try:
+            scenario = find_scenario(name)
+        except ScenarioError as exc:
+            print("  {:<26} INVALID: {}".format(name, exc))
+            continue
+        print("  {:<26} {:>2} x {:>4g}s  {} classes  {} faults  [{}]".format(
+            name,
+            scenario.num_periods,
+            scenario.period_seconds,
+            len(scenario.classes),
+            len(scenario.faults),
+            scenario.controller,
+        ))
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.errors import InvariantViolation
     from repro.experiments.runner import build_bundle, make_controller
@@ -370,15 +551,37 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sensitivity import format_sweep, sweep
 
-    config = _build_config(args)
-    entries = sweep(
-        args.path,
-        args.values,
-        controller=args.controller,
-        config=config,
-        jobs=_jobs_arg(args),
-        progress=_progress_printer(args),
-    )
+    if args.smoke and not args.scenario:
+        print("--smoke requires --scenario", file=sys.stderr)
+        return 2
+    if args.scenario:
+        from repro.errors import ScenarioError
+        from repro.scenarios import find_scenario, to_experiment_spec
+
+        try:
+            scenario = find_scenario(args.scenario)
+            base_spec = to_experiment_spec(scenario, smoke=args.smoke)
+        except ScenarioError as exc:
+            print("scenario error: {}".format(exc), file=sys.stderr)
+            return 2
+        print("sweeping {} over scenario '{}'".format(args.path, scenario.name))
+        entries = sweep(
+            args.path,
+            args.values,
+            base_spec=base_spec,
+            jobs=_jobs_arg(args),
+            progress=_progress_printer(args),
+        )
+    else:
+        config = _build_config(args)
+        entries = sweep(
+            args.path,
+            args.values,
+            controller=args.controller,
+            config=config,
+            jobs=_jobs_arg(args),
+            progress=_progress_printer(args),
+        )
     class_names = sorted({name for _, attainment in entries for name in attainment})
     print(format_sweep(args.path, entries, class_names))
     return 0
@@ -514,12 +717,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = sub.add_parser("run", help="run a controller on the paper workload")
+    run_parser = sub.add_parser(
+        "run",
+        help="run a controller on the paper workload or a YAML scenario",
+    )
     run_parser.add_argument("--controller", choices=CONTROLLER_NAMES, default="qs")
     run_parser.add_argument(
-        "--backend", choices=BACKEND_NAMES, default="sim",
-        help="execution backend: the discrete-event simulator, or real "
-             "SQL against in-process SQLite in wall-clock time",
+        "--scenario", default=None, metavar="NAME|PATH",
+        help="run a scenario: a library name (see 'repro scenarios') or a "
+             "path to a scenario YAML file; the scenario then owns the "
+             "controller, schedule, backend and invariant mode",
+    )
+    run_parser.add_argument(
+        "--smoke", action="store_true",
+        help="compress the scenario's periods to seconds of virtual time "
+             "(same schedule shape; only valid with --scenario)",
+    )
+    run_parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend: the discrete-event simulator (default), "
+             "or real SQL against in-process SQLite in wall-clock time",
     )
     run_parser.add_argument(
         "--horizon", type=float, default=None, metavar="SECONDS",
@@ -528,14 +745,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--periods", type=int, default=None)
     run_parser.add_argument("--period-seconds", type=float, default=None)
     run_parser.add_argument("--control-interval", type=float, default=None)
-    run_parser.add_argument("--seed", type=int, default=7)
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed (default 7, or the scenario's own seed)",
+    )
     run_parser.add_argument(
         "--output", default=None,
         help="write results to a .json or .csv file",
     )
     run_parser.add_argument(
-        "--invariants", choices=("off", "warn", "strict"), default="off",
-        help="runtime invariant checking at every control interval",
+        "--invariants", choices=("off", "warn", "strict"), default=None,
+        help="runtime invariant checking at every control interval "
+             "(default off, or the scenario's own mode)",
     )
     run_parser.add_argument(
         "--trace-events", default=None, metavar="PATH",
@@ -619,6 +840,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_parser.set_defaults(func=_cmd_check)
 
+    scen_parser = sub.add_parser(
+        "scenarios",
+        help="list, inspect, or validate the named scenario library",
+    )
+    scen_parser.add_argument(
+        "name", nargs="*",
+        help="show one scenario in detail (library name or YAML path); "
+             "with --validate-all, extra paths to validate as well",
+    )
+    scen_parser.add_argument(
+        "--validate-all", action="store_true",
+        help="schema-validate and round-trip every library scenario; "
+             "exit nonzero if any fails",
+    )
+    scen_parser.set_defaults(func=_cmd_scenarios)
+
     def _experiment_scale_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--periods", type=int, default=9)
         p.add_argument("--period-seconds", type=float, default=120.0)
@@ -658,6 +895,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="values to sweep (numbers are auto-converted)",
     )
     sweep_parser.add_argument("--controller", choices=CONTROLLER_NAMES, default="qs")
+    sweep_parser.add_argument(
+        "--scenario", default=None, metavar="NAME|PATH",
+        help="sweep over a scenario instead of the paper workload; the "
+             "scenario supplies the controller, schedule, seed and faults "
+             "(--controller/--periods/--period-seconds/--control-interval/"
+             "--seed are ignored)",
+    )
+    sweep_parser.add_argument(
+        "--smoke", action="store_true",
+        help="compress the scenario's periods to seconds of virtual time "
+             "(only valid with --scenario)",
+    )
     _experiment_scale_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 

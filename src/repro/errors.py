@@ -71,6 +71,16 @@ class PatrollerError(ReproError):
     same query twice.
     """
 
+class ScenarioError(ReproError):
+    """A scenario document is invalid or cannot be resolved.
+
+    Examples: a YAML file that fails schema validation, an unknown
+    generator name in a ``clients:`` curve, a fault scheduled past the
+    schedule horizon, or a scenario name that matches neither the library
+    nor a file path.
+    """
+
+
 class BenchError(ReproError):
     """A benchmark run or benchmark artifact is invalid.
 

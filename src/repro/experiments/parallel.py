@@ -42,7 +42,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.config import SimulationConfig
 from repro.core.service_class import ServiceClass
 from repro.errors import ConfigurationError
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+    run_spec,
+)
 from repro.metrics.telemetry import ControlIntervalRecord, TelemetryStore
 from repro.workloads.schedule import PeriodSchedule
 
@@ -62,6 +67,13 @@ class RunRequest:
     progress reporting.  All fields are immutable values (frozen
     dataclasses, tuples, floats), so a request crosses a process boundary
     without ceremony.
+
+    A request may instead carry a full
+    :class:`~repro.experiments.runner.ExperimentSpec` in ``spec`` — the
+    scenario path, where backend choice, invariant mode, and scheduled
+    faults must cross the process boundary too.  When ``spec`` is set it
+    is authoritative and the individual fields are ignored (``controller``
+    should mirror ``spec.controller`` for display purposes).
     """
 
     controller: str
@@ -70,18 +82,22 @@ class RunRequest:
     classes: Optional[Tuple[ServiceClass, ...]] = None
     static_olap_limit: Optional[float] = None
     label: Optional[str] = None
+    spec: Optional[ExperimentSpec] = None
 
     @property
     def seed(self) -> Optional[int]:
         """The request's seed (None when the default config will be used)."""
+        if self.spec is not None and self.spec.config is not None:
+            return self.spec.config.seed
         return self.config.seed if self.config is not None else None
 
     def describe(self) -> str:
         """Short human-readable identity for logs and progress lines."""
         if self.label:
             return self.label
-        if self.config is not None:
-            return "{}:seed={}".format(self.controller, self.config.seed)
+        seed = self.seed
+        if seed is not None:
+            return "{}:seed={}".format(self.controller, seed)
         return self.controller
 
 
@@ -180,13 +196,16 @@ def summarize_result(
 
 def execute_request(request: RunRequest) -> RunSummary:
     """Run one request in-process and summarize it (raises on failure)."""
-    result = run_experiment(
-        controller=request.controller,
-        config=request.config,
-        schedule=request.schedule,
-        classes=list(request.classes) if request.classes is not None else None,
-        static_olap_limit=request.static_olap_limit,
-    )
+    if request.spec is not None:
+        result = run_spec(request.spec)
+    else:
+        result = run_experiment(
+            controller=request.controller,
+            config=request.config,
+            schedule=request.schedule,
+            classes=list(request.classes) if request.classes is not None else None,
+            static_olap_limit=request.static_olap_limit,
+        )
     return summarize_result(result, label=request.label)
 
 

@@ -14,8 +14,9 @@ so the same controller code drives both substrates.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import SimulationConfig, default_config
 from repro.core.controllers import (
@@ -119,6 +120,10 @@ class ExperimentSpec:
     it with :func:`dataclasses.replace`, hand it to :func:`run_spec` (or
     ``run_experiment(spec=...)``).  The old ``run_experiment`` keywords
     remain a thin shim over this.
+
+    ``faults`` are behavioral :class:`~repro.faults.ScheduledFault`
+    injections applied to the assembled bundle before the run starts (the
+    scenario format's ``faults:`` section compiles to these).
     """
 
     controller: str = "qs"
@@ -131,9 +136,18 @@ class ExperimentSpec:
     backend: str = "sim"
     backend_options: Dict[str, Any] = field(default_factory=dict)
     horizon: Optional[float] = None
+    faults: Tuple["ScheduledFault", ...] = ()  # noqa: F821
+
+    def __post_init__(self) -> None:
+        # Every spec owns its options: ``replace``/``with_overrides`` run
+        # through here again, so two specs derived from one base can never
+        # alias (and mutate) the same dict — scenario sweeps tweak
+        # ``backend_options`` per run.
+        self.backend_options = copy.deepcopy(self.backend_options)
+        self.faults = tuple(self.faults)
 
     def with_overrides(self, **changes: Any) -> "ExperimentSpec":
-        """A copy with the given fields replaced."""
+        """A copy with the given fields replaced (no shared mutable state)."""
         return replace(self, **changes)
 
 
@@ -368,6 +382,13 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         harness = attach_harness(bundle, mode=spec.invariants)
         built.start()
         bundle.manager.start()
+        injector = None
+        if spec.faults:
+            from repro.faults import FaultInjector
+
+            injector = FaultInjector(bundle)
+            for fault in spec.faults:
+                injector.apply(fault)
         bundle.run(horizon=spec.horizon)
     finally:
         bundle.close()
@@ -384,6 +405,8 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         result.extras["metrics_registry"] = built.registry
     if harness is not None:
         result.extras["validation"] = harness
+    if injector is not None:
+        result.extras["faults"] = injector
     if tracer is not None:
         tracer.finalize()
         result.extras["tracer"] = tracer

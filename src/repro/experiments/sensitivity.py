@@ -78,6 +78,7 @@ def sweep(
     classes: Optional[List[ServiceClass]] = None,
     jobs: Optional[int] = 1,
     progress: Optional[ProgressCallback] = None,
+    base_spec: Optional["ExperimentSpec"] = None,  # noqa: F821
 ) -> List[SweepEntry]:
     """Run the experiment once per value of the addressed field.
 
@@ -92,10 +93,36 @@ def sweep(
 
     ``jobs`` fans the points over worker processes (``1`` = serial,
     ``None`` = one per CPU) without changing the results.
+
+    ``base_spec`` sweeps around a full
+    :class:`~repro.experiments.runner.ExperimentSpec` instead of bare
+    keywords — the scenario path (``repro sweep --scenario``): each point
+    re-runs the spec (backend, invariant mode, scheduled faults and all)
+    with only the addressed configuration field changed.  ``controller``,
+    ``config``, ``schedule`` and ``classes`` are then taken from the spec
+    and must not be passed separately.
     """
     values = list(values)
     if not values:
         raise ConfigurationError("sweep needs at least one value")
+    if base_spec is not None:
+        if any(arg is not None for arg in (config, schedule, classes)):
+            raise ConfigurationError(
+                "sweep: pass either base_spec or config/schedule/classes, not both"
+            )
+        base = (base_spec.config or default_config()).validate()
+        requests = [
+            RunRequest(
+                controller=base_spec.controller,
+                label="{}={!r}".format(dotted_path, value),
+                spec=base_spec.with_overrides(
+                    config=set_config_field(base, dotted_path, value)
+                ),
+            )
+            for value in values
+        ]
+        outcomes = run_requests(requests, jobs=jobs, progress=progress)
+        return _collect_entries(dotted_path, values, outcomes)
     base = (config or default_config()).validate()
     requests = [
         RunRequest(
@@ -108,6 +135,11 @@ def sweep(
         for value in values
     ]
     outcomes = run_requests(requests, jobs=jobs, progress=progress)
+    return _collect_entries(dotted_path, values, outcomes)
+
+
+def _collect_entries(dotted_path: str, values, outcomes) -> List[SweepEntry]:
+    """Pair swept values with attainments; fail loudly on any bad point."""
     entries: List[SweepEntry] = []
     for value, outcome in zip(values, outcomes):
         if not outcome.ok:

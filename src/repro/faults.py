@@ -20,10 +20,53 @@ correlate violations with their seeded faults.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.dbms.query import Query, QueryState
 from repro.errors import SchedulingError
+
+#: Behavioral fault kinds a :class:`ScheduledFault` may name.  These drive
+#: public APIs only, so a correct controller must absorb them with its
+#: invariants intact; white-box corruptions are deliberately not
+#: schedulable from data (they exist to *trip* invariants).
+BEHAVIORAL_FAULTS = (
+    "cancel_storm",
+    "arrival_burst",
+    "release_latency_jitter",
+    "drop_completions",
+)
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """A picklable, data-driven description of one behavioral fault.
+
+    ``kind`` names a behavioral :class:`FaultInjector` method (see
+    :data:`BEHAVIORAL_FAULTS`); ``at`` is the injection time in seconds
+    from the start of the run; ``params`` are the method's keyword
+    arguments (``class_name``, ``count``, ...).  Scenario files compile
+    their ``faults:`` section into these, and
+    :meth:`FaultInjector.apply` turns one back into a live injection.
+    """
+
+    kind: str
+    at: float = 0.0
+    params: Mapping = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.kind not in BEHAVIORAL_FAULTS:
+            raise SchedulingError(
+                "unknown behavioral fault {!r}; expected one of {}".format(
+                    self.kind, BEHAVIORAL_FAULTS
+                )
+            )
+        if self.at < 0:
+            raise SchedulingError(
+                "fault {!r}: injection time must be >= 0, got {}".format(
+                    self.kind, self.at
+                )
+            )
 
 
 class FaultInjector:
@@ -62,15 +105,37 @@ class FaultInjector:
         else:
             self.sim.schedule(delay, action, label="fault:{}".format(label))
 
-    def _need_dispatcher(self) -> "Dispatcher":  # noqa: F821
+    def _missing(self, fault: str, component: str) -> SchedulingError:
+        controller = type(self.bundle.controller).__name__ \
+            if self.bundle.controller is not None else "None"
+        return SchedulingError(
+            "fault {!r} needs a {} but the bundle's controller ({}) has "
+            "none".format(fault, component, controller)
+        )
+
+    def _need_dispatcher(self, fault: str = "fault") -> "Dispatcher":  # noqa: F821
         if self.dispatcher is None:
-            raise SchedulingError("bundle's controller has no dispatcher to fault")
+            raise self._missing(fault, "dispatcher")
         return self.dispatcher
 
-    def _need_monitor(self) -> "Monitor":  # noqa: F821
+    def _need_monitor(self, fault: str = "fault") -> "Monitor":  # noqa: F821
         if self.monitor is None:
-            raise SchedulingError("bundle's controller has no monitor to fault")
+            raise self._missing(fault, "monitor")
         return self.monitor
+
+    def apply(self, fault: ScheduledFault) -> None:
+        """Inject one data-described behavioral fault.
+
+        Validates the fault, checks *now* that the controller has every
+        component the fault needs (a clear :class:`SchedulingError` beats
+        a silent no-op at injection time), and schedules the injection at
+        ``fault.at`` seconds (relative to the timer service's current
+        time; past times apply immediately).
+        """
+        fault.validate()
+        delay = max(0.0, fault.at - self.sim.now)
+        method = getattr(self, fault.kind)
+        method(delay=delay, **dict(fault.params))
 
     # ------------------------------------------------------------------
     # Behavioral faults (public-API driven)
@@ -85,10 +150,31 @@ class FaultInjector:
 
         Models a user or admin abandoning a pile of waiting statements at
         once — the event that historically exposed queue-accounting leaks.
+
+        A ``class_name`` the dispatcher does not queue (unknown, or an
+        indirectly-controlled OLTP class) is not an accounting event at
+        all, so it is recorded as a skip in :attr:`injected` instead of
+        silently cancelling nothing.
         """
-        dispatcher = self._need_dispatcher()
+        if not 0.0 < fraction <= 1.0:
+            raise SchedulingError(
+                "cancel_storm fraction must be in (0, 1], got {}".format(fraction)
+            )
+        dispatcher = self._need_dispatcher("cancel_storm")
 
         def storm() -> None:
+            if class_name is not None:
+                state = dispatcher._states.get(class_name)
+                if state is None or not state.service_class.directly_controlled:
+                    self._log(
+                        "cancel_storm",
+                        class_name=class_name,
+                        cancelled=0,
+                        skipped="class {!r} is not queued by the dispatcher".format(
+                            class_name
+                        ),
+                    )
+                    return
             cancelled = 0
             for name, state in dispatcher._states.items():
                 if class_name is not None and name != class_name:
@@ -166,9 +252,9 @@ class FaultInjector:
         component may not even track).
         """
         if component == "dispatcher":
-            target = self._need_dispatcher()._on_completion
+            target = self._need_dispatcher("drop_completions")._on_completion
         elif component == "monitor":
-            target = self._need_monitor()._on_completion
+            target = self._need_monitor("drop_completions")._on_completion
         else:
             raise SchedulingError(
                 "unknown component {!r}; expected 'dispatcher' or 'monitor'".format(
@@ -216,7 +302,7 @@ class FaultInjector:
         consumed forever, releases throttled, nothing to retire.  Trips
         ``dispatcher_in_flight_consistent``.
         """
-        state = self._need_dispatcher()._state(class_name)
+        state = self._need_dispatcher("leak_dispatcher_slot")._state(class_name)
         state.in_flight_cost += cost
         state.in_flight_count += 1
         self._log("leak_dispatcher_slot", class_name=class_name, cost=cost)
@@ -228,7 +314,7 @@ class FaultInjector:
         (trips ``plan_spends_system_limit``); ``"negative"`` drives one
         class limit below zero (trips ``plan_limits_nonnegative``).
         """
-        plan = self._need_dispatcher().plan
+        plan = self._need_dispatcher("corrupt_plan").plan
         name = next(iter(plan))
         if mode == "undersum":
             plan._limits[name] = max(0.0, plan._limits[name] - amount)
@@ -248,7 +334,7 @@ class FaultInjector:
         Models the stale-entry leak of an unwired cancellation/completion
         path.  Trips ``monitor_open_is_live``.
         """
-        monitor = self._need_monitor()
+        monitor = self._need_monitor("corrupt_monitor_open")
         mix = self.bundle.mixes.get(class_name)
         if mix is None:
             raise SchedulingError("no workload mix for class {!r}".format(class_name))
@@ -265,7 +351,7 @@ class FaultInjector:
         """
         from repro.core.monitor import ClassMeasurement
 
-        monitor = self._need_monitor()
+        monitor = self._need_monitor("corrupt_velocity_sample")
         monitor._last_measurement[class_name] = ClassMeasurement(
             class_name=class_name,
             metric="velocity",
@@ -283,6 +369,6 @@ class FaultInjector:
         Trips ``oltp_slope_in_clamp_band`` through its exception path.
         """
         if self.planner is None or self.planner.oltp_model is None:
-            raise SchedulingError("bundle's controller has no OLTP model to fault")
+            raise self._missing("corrupt_oltp_regression", "planner with an OLTP model")
         self.planner.oltp_model._sxx = 0.0
         self._log("corrupt_oltp_regression")

@@ -1,0 +1,60 @@
+"""Declarative workload scenarios: YAML in, :class:`ExperimentSpec` out.
+
+The scenario subsystem turns "open a new workload" into a YAML file: a
+schema-validated, versioned document describing classes + SLOs, per-class
+client-count curves (explicit lists or generators — constant, step,
+diurnal sine, flash-crowd spike, ramp), controller/backend choice,
+configuration overrides, invariant mode, and scheduled behavioral fault
+injections.  ``repro run --scenario <name|path>`` runs one;
+``repro scenarios`` lists and validates the shipped library.  See
+docs/SCENARIOS.md for the format reference and catalog.
+"""
+
+from repro.scenarios.generators import GENERATORS, resolve_generator
+from repro.scenarios.loader import (
+    LIBRARY_DIR,
+    find_scenario,
+    library_names,
+    library_paths,
+    load_library_scenario,
+    load_scenario,
+    loads_scenario,
+    save_scenario,
+    scenario_to_yaml,
+    validate_library,
+)
+from repro.scenarios.spec import (
+    SCENARIO_FORMAT_VERSION,
+    SMOKE_PERIOD_SECONDS,
+    ClientCurve,
+    ScenarioClass,
+    ScenarioFault,
+    ScenarioSpec,
+    scenario_from_mapping,
+    scenario_to_mapping,
+    to_experiment_spec,
+)
+
+__all__ = [
+    "GENERATORS",
+    "LIBRARY_DIR",
+    "SCENARIO_FORMAT_VERSION",
+    "SMOKE_PERIOD_SECONDS",
+    "ClientCurve",
+    "ScenarioClass",
+    "ScenarioFault",
+    "ScenarioSpec",
+    "find_scenario",
+    "library_names",
+    "library_paths",
+    "load_library_scenario",
+    "load_scenario",
+    "loads_scenario",
+    "resolve_generator",
+    "save_scenario",
+    "scenario_from_mapping",
+    "scenario_to_mapping",
+    "scenario_to_yaml",
+    "to_experiment_spec",
+    "validate_library",
+]

@@ -1,0 +1,167 @@
+"""Per-class client-count curve generators.
+
+A scenario's ``clients:`` entry is either an explicit per-period list or a
+generator mapping — ``{generator: <name>, ...params}`` — that expands to
+one integer count per period.  Generators cover the workload shapes the
+paper's single hand-reconstructed trace cannot: flat floors, step
+alternation, diurnal sine traffic, flash-crowd spikes, and linear ramps.
+
+All generators produce non-negative integers (values are rounded, then
+clamped at zero) and are pure functions of their parameters and the
+period count, so a scenario file fully determines its schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping
+
+from repro.errors import ScenarioError
+
+
+def _param(params: Mapping, name: str, generator: str, default=None):
+    """Fetch one generator parameter, raising a named error when required."""
+    if name in params:
+        return params[name]
+    if default is not None:
+        return default
+    raise ScenarioError(
+        "generator {!r} needs parameter {!r} (got {})".format(
+            generator, name, sorted(params) or "none"
+        )
+    )
+
+
+def _check_unknown(params: Mapping, allowed, generator: str) -> None:
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise ScenarioError(
+            "generator {!r}: unknown parameters {}; allowed: {}".format(
+                generator, unknown, sorted(allowed)
+            )
+        )
+
+
+def _counts(values) -> List[int]:
+    return [max(0, int(round(float(v)))) for v in values]
+
+
+def constant(params: Mapping, num_periods: int) -> List[int]:
+    """``value`` clients in every period."""
+    _check_unknown(params, ("value",), "constant")
+    value = _param(params, "value", "constant")
+    return _counts([value] * num_periods)
+
+
+def step(params: Mapping, num_periods: int) -> List[int]:
+    """Alternate ``low`` and ``high`` levels, switching every ``every`` periods.
+
+    Starts on ``low``; ``every`` defaults to 1 (strict alternation).
+    """
+    _check_unknown(params, ("low", "high", "every"), "step")
+    low = _param(params, "low", "step")
+    high = _param(params, "high", "step")
+    every = int(_param(params, "every", "step", default=1))
+    if every < 1:
+        raise ScenarioError("generator 'step': every must be >= 1")
+    levels = [low, high]
+    return _counts(
+        levels[(p // every) % 2] for p in range(num_periods)
+    )
+
+
+def diurnal(params: Mapping, num_periods: int) -> List[int]:
+    """Sine wave: ``base + amplitude * sin(2*pi * (p + phase) / period)``.
+
+    ``period`` is the cycle length in periods (default: the whole run is
+    one cycle); ``phase`` shifts the wave in periods.  Models day/night
+    traffic without step edges.
+    """
+    _check_unknown(params, ("base", "amplitude", "period", "phase"), "diurnal")
+    base = float(_param(params, "base", "diurnal"))
+    amplitude = float(_param(params, "amplitude", "diurnal"))
+    cycle = float(_param(params, "period", "diurnal", default=num_periods))
+    phase = float(params.get("phase", 0.0))
+    if cycle <= 0:
+        raise ScenarioError("generator 'diurnal': period must be positive")
+    return _counts(
+        base + amplitude * math.sin(2.0 * math.pi * (p + phase) / cycle)
+        for p in range(num_periods)
+    )
+
+
+def flash_crowd(params: Mapping, num_periods: int) -> List[int]:
+    """A ``base`` load that spikes to ``peak`` at period ``at``.
+
+    The spike holds for ``duration`` periods (default 1), then decays
+    linearly back to ``base`` over ``ramp_down`` periods (default 0 =
+    instant recovery).  Models the thundering herd a workload manager
+    exists to absorb.
+    """
+    _check_unknown(
+        params, ("base", "peak", "at", "duration", "ramp_down"), "flash_crowd"
+    )
+    base = float(_param(params, "base", "flash_crowd"))
+    peak = float(_param(params, "peak", "flash_crowd"))
+    at = int(_param(params, "at", "flash_crowd"))
+    duration = int(_param(params, "duration", "flash_crowd", default=1))
+    ramp_down = int(params.get("ramp_down", 0))
+    if duration < 1:
+        raise ScenarioError("generator 'flash_crowd': duration must be >= 1")
+    if ramp_down < 0:
+        raise ScenarioError("generator 'flash_crowd': ramp_down must be >= 0")
+    if not 0 <= at < num_periods:
+        raise ScenarioError(
+            "generator 'flash_crowd': spike period {} outside 0..{}".format(
+                at, num_periods - 1
+            )
+        )
+    values = []
+    for p in range(num_periods):
+        if at <= p < at + duration:
+            values.append(peak)
+        elif ramp_down and at + duration <= p < at + duration + ramp_down:
+            frac = (p - (at + duration) + 1) / float(ramp_down + 1)
+            values.append(peak + (base - peak) * frac)
+        else:
+            values.append(base)
+    return _counts(values)
+
+
+def ramp(params: Mapping, num_periods: int) -> List[int]:
+    """Linear interpolation from ``start`` to ``end`` across the run."""
+    _check_unknown(params, ("start", "end"), "ramp")
+    start = float(_param(params, "start", "ramp"))
+    end = float(_param(params, "end", "ramp"))
+    if num_periods == 1:
+        return _counts([end])
+    span = num_periods - 1
+    return _counts(
+        start + (end - start) * p / span for p in range(num_periods)
+    )
+
+
+#: Generator registry: YAML ``generator:`` value -> expansion function.
+#: Hyphenated spellings are accepted as aliases of the canonical names.
+GENERATORS: Dict[str, Callable[[Mapping, int], List[int]]] = {
+    "constant": constant,
+    "step": step,
+    "diurnal": diurnal,
+    "flash_crowd": flash_crowd,
+    "flash-crowd": flash_crowd,
+    "ramp": ramp,
+}
+
+
+def resolve_generator(name: str, params: Mapping, num_periods: int) -> List[int]:
+    """Expand one named generator to per-period client counts."""
+    expand = GENERATORS.get(name)
+    if expand is None:
+        raise ScenarioError(
+            "unknown client-curve generator {!r}; expected one of {}".format(
+                name, sorted(set(GENERATORS) - {"flash-crowd"})
+            )
+        )
+    if num_periods < 1:
+        raise ScenarioError("a client curve needs at least one period")
+    return expand(params, num_periods)

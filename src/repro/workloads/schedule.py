@@ -66,14 +66,47 @@ class PeriodSchedule:
         return sorted(self.counts)
 
     def period_at(self, time: float) -> int:
-        """0-based period index for a simulation time (clamped to the end)."""
+        """0-based period index for a simulation time.
+
+        Times at or beyond the horizon are **clamped to the last period**:
+        ``period_at(horizon)`` is ``num_periods - 1``, so end-of-run events
+        (a query finishing exactly when the schedule ends) are attributed
+        to the final period rather than raising.  Callers that must
+        distinguish "inside the schedule" from "after it" should guard
+        with :meth:`within_horizon` first.
+
+        Exact period boundaries belong to the *starting* period:
+        ``t == k * period_seconds`` maps to period ``k`` (not ``k - 1``),
+        even when floating-point division of ``t / period_seconds`` lands
+        fractionally below ``k``.
+        """
         if time < 0:
             raise WorkloadError("negative time {}".format(time))
         index = int(time / self.period_seconds)
+        # Boundary guards: t == k * period_seconds can divide to a hair
+        # below (or above) k when period_seconds is not a binary fraction.
+        if (index + 1) * self.period_seconds <= time:
+            index += 1
+        elif index > 0 and index * self.period_seconds > time:
+            index -= 1
         return min(index, self.num_periods - 1)
 
+    def within_horizon(self, time: float) -> bool:
+        """Whether ``time`` falls inside the scheduled run (``0 <= t < horizon``).
+
+        :meth:`period_at` / :meth:`count_at` clamp out-of-range times to
+        the last period; use this guard when clamping would silently
+        mis-attribute an event that happens after the schedule is over.
+        """
+        return 0 <= time < self.horizon
+
     def count_at(self, class_name: str, time: float) -> int:
-        """Scheduled client count of a class at a simulation time."""
+        """Scheduled client count of a class at a simulation time.
+
+        Like :meth:`period_at`, times at or past the horizon are clamped
+        to the last period; guard with :meth:`within_horizon` when the
+        schedule being over must read as "zero clients" instead.
+        """
         return self.counts[class_name][self.period_at(time)]
 
     def peak_count(self, class_name: str) -> int:

@@ -207,3 +207,55 @@ class TestReplicationParallel:
         assert good.per_class["class3"].attainment.count == 2
         assert len(bad.errors) == 2
         assert bad.per_class == {}
+
+
+class TestSpecRequests:
+    """RunRequest carrying a full ExperimentSpec (the scenario path)."""
+
+    def _spec(self, controller="qs", invariants="off"):
+        from repro.experiments.runner import ExperimentSpec
+
+        return ExperimentSpec(
+            controller=controller,
+            config=tiny_config(),
+            schedule=tiny_schedule(),
+            invariants=invariants,
+        )
+
+    def test_spec_request_pickles_and_reports_its_seed(self):
+        spec = self._spec()
+        request = RunRequest(controller=spec.controller, spec=spec, label="s")
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone.spec.controller == "qs"
+        assert request.seed == 7
+        assert request.describe() == "s"
+
+    def test_execute_request_honours_the_spec(self):
+        from repro.faults import ScheduledFault
+
+        spec = self._spec(invariants="warn").with_overrides(
+            faults=(ScheduledFault(
+                kind="arrival_burst", at=5.0,
+                params={"class_name": "class1", "count": 2},
+            ),),
+        )
+        request = RunRequest(controller=spec.controller, spec=spec)
+        summary = execute_request(request)
+        assert summary.controller == "qs"
+        assert summary.attainment  # the run completed and measured classes
+
+    def test_spec_requests_parallel_match_serial_bitwise(self):
+        specs = [
+            self._spec().with_overrides(config=tiny_config(seed=seed))
+            for seed in (7, 21)
+        ]
+        requests = [
+            RunRequest(controller=s.controller, spec=s, label=str(i))
+            for i, s in enumerate(specs)
+        ]
+        serial = run_requests(requests, jobs=1)
+        parallel = run_requests(requests, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.ok and b.ok
+            assert a.summary.attainment == b.summary.attainment
+            assert a.summary.performance_series == b.summary.performance_series

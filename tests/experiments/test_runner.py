@@ -131,3 +131,68 @@ class TestRunExperiment:
         assert len(result.collector.plan_series("class3")) >= 2
         attainment = result.goal_attainment()
         assert set(attainment) == {"class1", "class2", "class3"}
+
+
+class TestExperimentSpecIsolation:
+    """Regression: specs derived from one base must not share mutable state."""
+
+    def test_backend_options_independent_via_with_overrides(self):
+        from repro.experiments.runner import ExperimentSpec
+
+        base = ExperimentSpec(backend_options={"busy_timeout": 1.0})
+        derived = base.with_overrides(controller="none")
+        derived.backend_options["busy_timeout"] = 99.0
+        derived.backend_options["extra"] = True
+        assert base.backend_options == {"busy_timeout": 1.0}
+
+    def test_backend_options_independent_via_replace(self):
+        import dataclasses
+
+        from repro.experiments.runner import ExperimentSpec
+
+        base = ExperimentSpec(backend_options={"nested": {"a": 1}})
+        derived = dataclasses.replace(base)
+        derived.backend_options["nested"]["a"] = 2
+        assert base.backend_options == {"nested": {"a": 1}}
+
+    def test_constructor_copies_the_caller_dict(self):
+        from repro.experiments.runner import ExperimentSpec
+
+        options = {"busy_timeout": 1.0}
+        spec = ExperimentSpec(backend_options=options)
+        options["busy_timeout"] = 5.0
+        assert spec.backend_options == {"busy_timeout": 1.0}
+
+    def test_faults_normalized_to_tuple(self):
+        from repro.experiments.runner import ExperimentSpec
+        from repro.faults import ScheduledFault
+
+        spec = ExperimentSpec(faults=[ScheduledFault(kind="cancel_storm")])
+        assert isinstance(spec.faults, tuple)
+
+
+class TestRunSpecFaults:
+    def test_scheduled_faults_apply_and_ride_in_extras(self):
+        from repro.experiments.runner import ExperimentSpec, run_spec
+        from repro.faults import ScheduledFault
+
+        result = run_spec(ExperimentSpec(
+            controller="qs",
+            config=quick_config(),
+            schedule=tiny_schedule(),
+            invariants="strict",
+            faults=(
+                ScheduledFault(
+                    kind="arrival_burst", at=10.0,
+                    params={"class_name": "class1", "count": 4},
+                ),
+                ScheduledFault(
+                    kind="cancel_storm", at=20.0,
+                    params={"class_name": "class1"},
+                ),
+            ),
+        ))
+        injector = result.extras["faults"]
+        kinds = [entry["fault"] for entry in injector.injected]
+        assert kinds == ["arrival_burst", "cancel_storm"]
+        assert result.extras["validation"].violations == []

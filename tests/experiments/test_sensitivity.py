@@ -105,3 +105,34 @@ class TestSweep:
         assert "50%" in legacy
         unhashable = format_sweep("p", [([1, 2], {"a": 0.5})], ["a"])
         assert "[1, 2]" in unhashable
+
+
+class TestSweepBaseSpec:
+    """sweep(base_spec=...) — the scenario path."""
+
+    def _base_spec(self):
+        from repro.experiments.runner import ExperimentSpec
+
+        return ExperimentSpec(
+            controller="qs",
+            config=tiny_config(),
+            schedule=constant_schedule(
+                20.0, 2, {"class1": 2, "class2": 2, "class3": 6}
+            ),
+            invariants="warn",
+        )
+
+    def test_base_spec_sweeps_the_addressed_field_only(self):
+        entries = sweep(
+            "optimizer.noise_sigma", [0.1, 0.3], base_spec=self._base_spec()
+        )
+        assert [value for value, _ in entries] == [0.1, 0.3]
+        for _, attainment in entries:
+            assert set(attainment) == {"class1", "class2", "class3"}
+
+    def test_base_spec_conflicts_with_bare_keywords(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            sweep(
+                "optimizer.noise_sigma", [0.1],
+                base_spec=self._base_spec(), config=tiny_config(),
+            )

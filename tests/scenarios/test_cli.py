@@ -1,0 +1,115 @@
+"""CLI surface of the scenario subsystem: run/scenarios/sweep."""
+
+import pytest
+
+from repro.cli import main
+
+pytest.importorskip("yaml")
+
+
+class TestRunScenario:
+    def test_run_library_scenario_smoke(self, capsys):
+        code = main(["run", "--scenario", "flash-crowd", "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario flash-crowd" in out
+        assert "invariants=strict" in out
+        assert "no violations" in out
+        assert "Attainment" in out
+
+    def test_run_scenario_with_faults_reports_injections(self, capsys):
+        code = main(["run", "--scenario", "cancel-storm-under-load", "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Injected faults (4):" in out
+        assert "cancel_storm" in out
+
+    def test_run_scenario_from_a_path(self, tmp_path, capsys):
+        from repro.scenarios import find_scenario, save_scenario
+
+        path = tmp_path / "copy.yaml"
+        save_scenario(find_scenario("flash-crowd"), path)
+        code = main(["run", "--scenario", str(path), "--smoke"])
+        assert code == 0
+        assert "scenario flash-crowd" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_a_clear_error(self, capsys):
+        code = main(["run", "--scenario", "atlantis"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "scenario error" in err
+        assert "flash-crowd" in err  # lists what IS available
+
+    def test_smoke_without_scenario_rejected(self, capsys):
+        code = main(["run", "--smoke"])
+        assert code == 2
+        assert "--smoke" in capsys.readouterr().err
+
+    def test_scale_flags_conflict_with_scenario(self, capsys):
+        code = main(["run", "--scenario", "flash-crowd", "--periods", "3"])
+        assert code == 2
+        assert "own" in capsys.readouterr().err
+
+    def test_cli_seed_overrides_the_document(self, capsys):
+        code = main(
+            ["run", "--scenario", "flash-crowd", "--smoke", "--seed", "21"]
+        )
+        assert code == 0
+
+
+class TestScenariosCommand:
+    def test_lists_the_library(self, capsys):
+        code = main(["scenarios"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("paper-figure3", "flash-crowd", "diurnal",
+                     "oltp-burst-storm", "cancel-storm-under-load",
+                     "adversarial-cost-noise"):
+            assert name in out
+
+    def test_validate_all_reports_clean_library(self, capsys):
+        code = main(["scenarios", "--validate-all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "6 of 6 scenarios valid" in out
+
+    def test_validate_all_fails_on_a_broken_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("scenario: 1\nname: bad\n")
+        code = main(["scenarios", "--validate-all", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "INVALID" in captured.err
+
+    def test_show_one_scenario_with_resolved_counts(self, capsys):
+        code = main(["scenarios", "flash-crowd"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clients per period" in out
+        assert "class3" in out
+        assert "30" in out  # the spike is visible
+
+    def test_show_unknown_scenario_errors(self, capsys):
+        code = main(["scenarios", "atlantis"])
+        assert code == 2
+        assert "scenario error" in capsys.readouterr().err
+
+
+class TestSweepScenario:
+    def test_sweep_over_a_scenario(self, capsys):
+        code = main([
+            "sweep", "optimizer.noise_sigma", "--values", "0.1", "0.3",
+            "--scenario", "flash-crowd", "--smoke", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "over scenario 'flash-crowd'" in out
+        assert "optimizer.noise_sigma" in out
+        assert "class3" in out
+
+    def test_sweep_smoke_without_scenario_rejected(self, capsys):
+        code = main([
+            "sweep", "optimizer.noise_sigma", "--values", "0.1", "--smoke",
+        ])
+        assert code == 2
+        assert "--smoke requires --scenario" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Client-curve generator tests: shapes, clamping, and parameter checks."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.generators import (
+    GENERATORS,
+    constant,
+    diurnal,
+    flash_crowd,
+    ramp,
+    resolve_generator,
+    step,
+)
+
+
+class TestConstant:
+    def test_flat_line(self):
+        assert constant({"value": 4}, 5) == [4, 4, 4, 4, 4]
+
+    def test_rounds_and_clamps(self):
+        assert constant({"value": 2.6}, 2) == [3, 3]
+        assert constant({"value": -1}, 2) == [0, 0]
+
+    def test_missing_value_named_in_error(self):
+        with pytest.raises(ScenarioError, match="'constant' needs parameter 'value'"):
+            constant({}, 3)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown parameters"):
+            constant({"value": 1, "vale": 2}, 3)
+
+
+class TestStep:
+    def test_strict_alternation_by_default(self):
+        assert step({"low": 2, "high": 5}, 6) == [2, 5, 2, 5, 2, 5]
+
+    def test_every_widens_the_plateau(self):
+        assert step({"low": 1, "high": 3, "every": 2}, 6) == [1, 1, 3, 3, 1, 1]
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ScenarioError, match="every must be >= 1"):
+            step({"low": 1, "high": 2, "every": 0}, 4)
+
+
+class TestDiurnal:
+    def test_full_cycle_returns_to_base(self):
+        counts = diurnal({"base": 10, "amplitude": 4, "period": 4}, 8)
+        # sin at p=0 is 0 -> base; quarter cycle -> base+amp; half -> base...
+        assert counts == [10, 14, 10, 6, 10, 14, 10, 6]
+
+    def test_phase_shifts_the_wave(self):
+        shifted = diurnal({"base": 10, "amplitude": 4, "period": 4, "phase": 1}, 4)
+        assert shifted == [14, 10, 6, 10]
+
+    def test_never_negative(self):
+        counts = diurnal({"base": 1, "amplitude": 10, "period": 4}, 4)
+        assert all(c >= 0 for c in counts)
+
+    def test_zero_cycle_rejected(self):
+        with pytest.raises(ScenarioError, match="period must be positive"):
+            diurnal({"base": 5, "amplitude": 1, "period": 0}, 4)
+
+
+class TestFlashCrowd:
+    def test_spike_holds_then_recovers_instantly(self):
+        counts = flash_crowd({"base": 5, "peak": 20, "at": 2, "duration": 2}, 6)
+        assert counts == [5, 5, 20, 20, 5, 5]
+
+    def test_ramp_down_decays_linearly(self):
+        counts = flash_crowd(
+            {"base": 4, "peak": 16, "at": 1, "duration": 1, "ramp_down": 2}, 6
+        )
+        assert counts[0] == 4
+        assert counts[1] == 16
+        assert counts[2:4] == [12, 8]  # peak -> base across ramp_down+1 slots
+        assert counts[4:] == [4, 4]
+
+    def test_spike_beyond_schedule_rejected(self):
+        with pytest.raises(ScenarioError, match="outside 0..3"):
+            flash_crowd({"base": 1, "peak": 2, "at": 4}, 4)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ScenarioError, match="duration must be >= 1"):
+            flash_crowd({"base": 1, "peak": 2, "at": 0, "duration": 0}, 4)
+
+
+class TestRamp:
+    def test_endpoints_are_exact(self):
+        counts = ramp({"start": 2, "end": 10}, 5)
+        assert counts[0] == 2
+        assert counts[-1] == 10
+        assert counts == sorted(counts)
+
+    def test_single_period_takes_the_end_value(self):
+        assert ramp({"start": 3, "end": 9}, 1) == [9]
+
+    def test_downward_ramp(self):
+        assert ramp({"start": 6, "end": 2}, 5) == [6, 5, 4, 3, 2]
+
+
+class TestResolveGenerator:
+    def test_dispatches_by_name(self):
+        assert resolve_generator("constant", {"value": 2}, 3) == [2, 2, 2]
+
+    def test_hyphen_alias_for_flash_crowd(self):
+        assert GENERATORS["flash-crowd"] is GENERATORS["flash_crowd"]
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ScenarioError, match="unknown client-curve generator"):
+            resolve_generator("sawtooth", {}, 3)
+
+    def test_zero_periods_rejected(self):
+        with pytest.raises(ScenarioError, match="at least one period"):
+            resolve_generator("constant", {"value": 1}, 0)

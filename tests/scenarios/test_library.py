@@ -1,0 +1,88 @@
+"""The shipped scenario library: every file loads, validates, round-trips,
+and survives a strict-invariant smoke run on the simulator backend."""
+
+import pytest
+
+from repro.experiments.runner import run_spec
+from repro.scenarios import (
+    find_scenario,
+    library_names,
+    library_paths,
+    load_library_scenario,
+    load_scenario,
+    loads_scenario,
+    scenario_to_yaml,
+    to_experiment_spec,
+    validate_library,
+)
+from repro.errors import ScenarioError
+
+pytest.importorskip("yaml")
+
+EXPECTED_NAMES = {
+    "adversarial-cost-noise",
+    "cancel-storm-under-load",
+    "diurnal",
+    "flash-crowd",
+    "oltp-burst-storm",
+    "paper-figure3",
+}
+
+
+def test_library_ships_the_named_scenarios():
+    assert EXPECTED_NAMES <= set(library_names())
+    assert len(library_names()) >= 6
+
+
+def test_validate_library_is_clean():
+    assert validate_library() == []
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_library_scenario_round_trips(name):
+    spec = load_library_scenario(name)
+    assert spec.name == name
+    assert loads_scenario(scenario_to_yaml(spec)) == spec
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_library_scenario_smoke_runs_strict_clean(name):
+    spec = load_library_scenario(name)
+    assert spec.invariants == "strict"
+    assert spec.backend == "sim"
+    result = run_spec(to_experiment_spec(spec, smoke=True))
+    harness = result.extras["validation"]
+    assert harness.violations == []
+    assert result.collector.total_completions > 0
+
+
+def test_paper_figure3_matches_the_reconstructed_schedule():
+    from repro.workloads.schedule import paper_schedule
+
+    spec = load_library_scenario("paper-figure3")
+    assert spec.resolved_counts() == dict(paper_schedule().counts)
+
+
+def test_scheduled_faults_actually_inject():
+    spec = load_library_scenario("cancel-storm-under-load")
+    result = run_spec(to_experiment_spec(spec, smoke=True))
+    injector = result.extras["faults"]
+    kinds = [entry["fault"] for entry in injector.injected]
+    assert kinds.count("cancel_storm") == 2
+    assert kinds.count("release_latency_jitter") == 2
+
+
+def test_find_scenario_accepts_names_and_paths(tmp_path):
+    by_name = find_scenario("flash-crowd")
+    by_path = find_scenario(str(library_paths()["flash-crowd"]))
+    assert by_name == by_path
+
+    with pytest.raises(ScenarioError, match="not one of the library"):
+        find_scenario("no-such-scenario")
+
+
+def test_load_scenario_names_the_file_in_errors(tmp_path):
+    bad = tmp_path / "broken.yaml"
+    bad.write_text("scenario: 1\nname: broken\n")
+    with pytest.raises(ScenarioError, match="broken.yaml"):
+        load_scenario(bad)

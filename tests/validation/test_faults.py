@@ -165,3 +165,87 @@ class TestInjectorGuards:
             ValidationHarness(
                 ControlLoopWorld.from_bundle(qs_bundle), mode="bogus"
             )
+
+
+class TestScheduledFaults:
+    """The data-driven fault path: ScheduledFault -> FaultInjector.apply."""
+
+    def _none_bundle(self):
+        from repro.experiments.runner import build_bundle, make_controller
+        from repro.workloads.schedule import constant_schedule
+        from tests.validation.conftest import small_config
+
+        bundle = build_bundle(
+            config=small_config(),
+            schedule=constant_schedule(30.0, 1, {"class1": 1, "class3": 1}),
+        )
+        make_controller(bundle, "none")
+        return bundle
+
+    def test_apply_schedules_at_absolute_time(self, qs_bundle):
+        from repro.faults import ScheduledFault
+
+        started_harness(qs_bundle)
+        injector = FaultInjector(qs_bundle)
+        injector.apply(ScheduledFault(
+            kind="arrival_burst", at=3.0,
+            params={"class_name": "class1", "count": 2},
+        ))
+        qs_bundle.run(horizon=5.0)
+        assert injector.injected[0]["fault"] == "arrival_burst"
+        assert injector.injected[0]["time"] == pytest.approx(3.0)
+
+    def test_unknown_kind_rejected_before_scheduling(self, qs_bundle):
+        from repro.faults import ScheduledFault
+
+        with pytest.raises(SchedulingError, match="unknown behavioral fault"):
+            FaultInjector(qs_bundle).apply(ScheduledFault(kind="meteor"))
+
+    def test_negative_time_rejected(self, qs_bundle):
+        from repro.faults import ScheduledFault
+
+        with pytest.raises(SchedulingError, match="must be >= 0"):
+            FaultInjector(qs_bundle).apply(
+                ScheduledFault(kind="cancel_storm", at=-1.0)
+            )
+
+    def test_missing_dispatcher_names_fault_and_controller(self):
+        """Regression: a fault needing an absent component raises a clear
+        SchedulingError naming both, instead of failing obscurely later."""
+        from repro.faults import ScheduledFault
+
+        injector = FaultInjector(self._none_bundle())
+        with pytest.raises(SchedulingError) as excinfo:
+            injector.apply(ScheduledFault(kind="cancel_storm", at=1.0))
+        message = str(excinfo.value)
+        assert "'cancel_storm'" in message
+        assert "dispatcher" in message
+        assert "NoControlController" in message
+
+    def test_missing_monitor_named_for_drop_completions(self):
+        injector = FaultInjector(self._none_bundle())
+        with pytest.raises(SchedulingError) as excinfo:
+            injector.drop_completions(component="monitor")
+        assert "'drop_completions'" in str(excinfo.value)
+        assert "monitor" in str(excinfo.value)
+
+    def test_cancel_storm_fraction_bounds_checked(self, qs_bundle):
+        with pytest.raises(SchedulingError, match="fraction"):
+            FaultInjector(qs_bundle).cancel_storm(fraction=0.0)
+        with pytest.raises(SchedulingError, match="fraction"):
+            FaultInjector(qs_bundle).cancel_storm(fraction=1.5)
+
+    def test_cancel_storm_on_unqueued_class_logs_a_skip(self, qs_bundle):
+        """Regression: storming a class the dispatcher does not queue
+        (OLTP, or unknown) records a skip entry instead of silently
+        cancelling nothing."""
+        started_harness(qs_bundle)
+        injector = FaultInjector(qs_bundle)
+        injector.cancel_storm(class_name="class3", delay=1.0)  # OLTP: bypasses
+        injector.cancel_storm(class_name="ghost", delay=2.0)   # unknown
+        qs_bundle.run(horizon=3.0)
+        assert len(injector.injected) == 2
+        for entry in injector.injected:
+            assert entry["fault"] == "cancel_storm"
+            assert entry["cancelled"] == 0
+            assert "not queued by the dispatcher" in entry["skipped"]

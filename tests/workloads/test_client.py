@@ -108,3 +108,70 @@ def test_client_tags_queries_with_its_class():
     client.activate()
     sim.run_until(2.0)
     assert all(entry == ("class3", "c0") for entry in seen)
+
+
+def make_pooled_world():
+    """A real patroller/engine world driven by a ClientPoolManager whose
+    schedule has a zero-client middle period (each query takes 1.0s)."""
+    from repro.workloads.schedule import ClientPoolManager, PeriodSchedule
+
+    sim = Simulator()
+    config = default_config(
+        patroller=PatrollerConfig(
+            interception_latency=0.0, release_latency=0.0, overhead_cpu_demand=0.0
+        )
+    )
+    engine = DatabaseEngine(sim, config, RandomStreams(4))
+    patroller = QueryPatroller(sim, engine, config.patroller)
+    factory = QueryFactory(engine.estimator, RandomStreams(4))
+    mix = WorkloadMix(
+        "simple",
+        [QueryTemplate("one", "oltp", cpu_demand=0.5, io_demand=0.5, variability=0.0)],
+    )
+
+    def build(class_name, client_id):
+        return ClosedLoopClient(
+            sim, patroller, factory, mix, class_name, client_id
+        )
+
+    schedule = PeriodSchedule(4.5, {"class3": [1, 0, 1]})
+    manager = ClientPoolManager(sim, schedule, build)
+    return sim, engine, manager
+
+
+def test_pool_deactivation_mid_query_finishes_in_flight_only():
+    """Regression: a client deactivated mid-statement finishes that one
+    statement and submits nothing more until reactivated."""
+    sim, engine, manager = make_pooled_world()
+    manager.start()
+    # Period boundary at t=4.5 lands mid-way through the client's 5th
+    # 1.0s statement (submitted at t=4.0).
+    sim.run_until(4.5)
+    (client,) = manager.pool("class3")
+    assert not client.active
+    assert client.busy  # the in-flight statement is still running
+    submitted_at_deactivation = client.queries_submitted
+
+    sim.run_until(8.999)  # the idle period elapses (next starts at 9.0)
+    assert client.queries_submitted == submitted_at_deactivation
+    assert client.queries_completed == submitted_at_deactivation  # it finished
+    assert not client.busy
+    assert not client.active
+
+
+def test_pool_reactivation_reuses_the_same_client():
+    sim, engine, manager = make_pooled_world()
+    manager.start()
+    sim.run_until(4.5)
+    (paused,) = manager.pool("class3")
+    completed_while_paused = None
+
+    sim.run_until(9.0)  # third period begins: count back to 1
+    (resumed,) = manager.pool("class3")
+    assert resumed is paused  # same object -> same client id
+    assert resumed.client_id == "class3-c0"
+    assert resumed.active
+    completed_while_paused = resumed.queries_completed
+
+    sim.run_until(12.0)
+    assert resumed.queries_completed > completed_while_paused

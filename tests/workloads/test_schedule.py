@@ -44,6 +44,37 @@ class TestPeriodSchedule:
         assert schedule.count_at("a", 5.0) == 1
         assert schedule.count_at("a", 15.0) == 2
 
+    def test_exact_boundaries_belong_to_the_starting_period(self):
+        """Regression: t == k * period_seconds maps to period k, never k-1."""
+        schedule = PeriodSchedule(10.0, {"a": [1, 2, 3, 4]})
+        for k in range(4):
+            assert schedule.period_at(k * 10.0) == k
+
+    def test_boundaries_survive_non_binary_period_lengths(self):
+        """Regression: boundary lookups when period_seconds has no exact
+        float representation, so t / period_seconds can land a hair below
+        (or above) the integer boundary."""
+        for period_seconds in (0.1, 1.0 / 3.0, 0.7, 8.0 / 3.0, 119.99):
+            schedule = PeriodSchedule(period_seconds, {"a": list(range(50))})
+            for k in range(50):
+                t = k * period_seconds
+                assert schedule.period_at(t) == k, (period_seconds, k)
+                # A hair into the period still maps to k.
+                assert schedule.period_at(t + period_seconds * 1e-9) == k
+
+    def test_horizon_clamps_to_last_period(self):
+        schedule = PeriodSchedule(10.0, {"a": [1, 2, 3]})
+        assert schedule.period_at(schedule.horizon) == 2
+        assert schedule.count_at("a", schedule.horizon + 5.0) == 3
+
+    def test_within_horizon_guard(self):
+        schedule = PeriodSchedule(10.0, {"a": [1, 2, 3]})
+        assert schedule.within_horizon(0.0)
+        assert schedule.within_horizon(29.999)
+        assert not schedule.within_horizon(30.0)  # horizon is exclusive
+        assert not schedule.within_horizon(31.0)
+        assert not schedule.within_horizon(-0.001)
+
     def test_horizon_and_peak(self):
         schedule = PeriodSchedule(10.0, {"a": [1, 5, 3]})
         assert schedule.horizon == 30.0
@@ -155,6 +186,27 @@ class TestClientPoolManager:
         manager.start()
         with pytest.raises(WorkloadError):
             manager.start()
+
+    def test_zero_count_middle_period_idles_then_reuses_clients(self):
+        """Regression: a 0-client middle period deactivates every client;
+        the next period reactivates the *same* objects (stable ids, no
+        churn), not replacements."""
+        sim, manager = self._manager({"a": [2, 0, 2]})
+        manager.start()
+        sim.run_until(0.0)
+        first_pool = manager.pool("a")
+        assert manager.active_count("a") == 2
+
+        sim.run_until(10.0)
+        assert manager.active_count("a") == 0
+        assert len(manager.pool("a")) == 2  # kept, just idle
+
+        sim.run_until(20.0)
+        assert manager.active_count("a") == 2
+        assert manager.pool("a") == first_pool
+        assert [c.client_id for c in manager.pool("a")] == ["a-c0", "a-c1"]
+        # Each client was activated exactly twice (once per active period).
+        assert [c.activations for c in manager.pool("a")] == [2, 2]
 
     def test_constant_schedule_helper(self):
         schedule = constant_schedule(5.0, 4, {"x": 7})
