@@ -104,12 +104,135 @@ def _scenario_result(args: argparse.Namespace):
     return run_spec(spec)
 
 
+def _cmd_run_sharded(args: argparse.Namespace) -> int:
+    """The ``run --shards`` path: fleet run, merged cross-shard report."""
+    from repro.errors import (
+        ConfigurationError,
+        ExperimentError,
+        InvariantViolation,
+        ScenarioError,
+    )
+    from repro.experiments.runner import ExperimentSpec
+    from repro.shard import (
+        ShardedExperimentSpec,
+        format_sharded_report,
+        run_sharded,
+        save_sharded_report,
+    )
+
+    if args.trace_events:
+        print(
+            "--trace-events is not supported with sharded runs (each shard "
+            "would need its own trace file)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.scenario:
+            from repro.scenarios import find_scenario, to_sharded_experiment_spec
+
+            scenario = find_scenario(args.scenario)
+            spec = to_sharded_experiment_spec(
+                scenario,
+                smoke=args.smoke,
+                invariants=args.invariants,
+                seed=args.seed,
+                shards=args.shards,
+                router=args.router,
+                rebalance=args.rebalance,
+            )
+            overrides = {}
+            if args.backend is not None:
+                overrides["backend"] = args.backend
+            if args.horizon is not None:
+                overrides["horizon"] = args.horizon
+            if overrides:
+                spec = spec.with_overrides(
+                    base=spec.base.with_overrides(**overrides)
+                ).validate()
+            source = "scenario {}".format(scenario.name)
+        else:
+            backend = args.backend if args.backend is not None else "sim"
+            sim_defaults = (9, 120.0, 60.0)
+            sqlite_defaults = (3, 2.0, 1.0)
+            defaults = sim_defaults if backend == "sim" else sqlite_defaults
+            if args.periods is None:
+                args.periods = defaults[0]
+            if args.period_seconds is None:
+                args.period_seconds = defaults[1]
+            if args.control_interval is None:
+                args.control_interval = defaults[2]
+            if args.seed is None:
+                args.seed = 7
+            base = ExperimentSpec(
+                controller=args.controller,
+                config=_build_config(args),
+                invariants=args.invariants or "off",
+                backend=backend,
+                horizon=args.horizon,
+            )
+            spec = ShardedExperimentSpec(
+                base=base,
+                shards=args.shards if args.shards is not None else 1,
+                router=args.router or "hash",
+                rebalance=args.rebalance or "static",
+            ).validate()
+            source = "paper workload"
+        print(
+            "sharded run: {} ({} shards, router={}, rebalance={}, "
+            "controller={}, invariants={})".format(
+                source,
+                spec.shards,
+                spec.router,
+                spec.rebalance,
+                spec.base.controller,
+                spec.base.invariants,
+            )
+        )
+        result = run_sharded(spec, jobs=_jobs_arg(args))
+    except (ConfigurationError, ScenarioError) as exc:
+        print("sharded run error: {}".format(exc), file=sys.stderr)
+        return 2
+    except InvariantViolation as exc:
+        print("invariant violation: {}".format(exc), file=sys.stderr)
+        return 1
+    except ExperimentError as exc:
+        print("shard failure: {}".format(exc), file=sys.stderr)
+        return 1
+    print()
+    print(format_sharded_report(result.report))
+    if args.output:
+        save_sharded_report(result.report, args.output, overwrite=True)
+        print("wrote {}".format(args.output))
+    return 0 if result.ok else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.errors import ScenarioError
 
     if args.smoke and not args.scenario:
         print("--smoke only applies to --scenario runs", file=sys.stderr)
         return 2
+    if args.shards is not None and args.shards > 1:
+        return _cmd_run_sharded(args)
+    if (args.router or args.rebalance) and args.shards is None:
+        print(
+            "--router/--rebalance only apply to sharded runs (pass --shards N)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scenario and args.shards is None:
+        # A scenario with a multi-shard ``shards:`` block takes the
+        # sharded path by itself; --shards 1 forces the unsharded path.
+        try:
+            from repro.scenarios import find_scenario
+
+            scenario = find_scenario(args.scenario)
+        except ScenarioError as exc:
+            print("scenario error: {}".format(exc), file=sys.stderr)
+            return 2
+        if scenario.shards is not None and scenario.shards.count > 1:
+            return _cmd_run_sharded(args)
     if args.scenario:
         conflicting = [
             flag
@@ -168,7 +291,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import save_chrome_trace
 
         tracer = result.extras["tracer"]
-        save_chrome_trace(tracer.spans, args.trace_events)
+        save_chrome_trace(tracer.spans, args.trace_events, overwrite=True)
         print(
             "wrote {} ({} spans, balanced={})".format(
                 args.trace_events, len(tracer.spans), tracer.balanced
@@ -240,7 +363,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         return 2
     if args.output:
-        store.save_jsonl(args.output)
+        store.save_jsonl(args.output, overwrite=True)
         print("wrote {} ({} control intervals)".format(args.output, len(store)))
     else:
         sys.stdout.write(store.to_jsonl())
@@ -368,10 +491,10 @@ def _cmd_spans(args: argparse.Namespace) -> int:
             print("problem: {}".format(problem), file=sys.stderr)
         return 1
     if args.output:
-        save_spans_jsonl(spans, args.output)
+        save_spans_jsonl(spans, args.output, overwrite=True)
         print("wrote {}".format(args.output))
     if args.trace_events:
-        save_chrome_trace(spans, args.trace_events)
+        save_chrome_trace(spans, args.trace_events, overwrite=True)
         print("wrote {}".format(args.trace_events))
     print()
     print(_format_span_breakdown(spans, args.top))
@@ -761,6 +884,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--trace-events", default=None, metavar="PATH",
         help="trace query lifecycles, write Chrome trace-event JSON here",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run N engine shards under the sharded control plane "
+             "(default: the scenario's shards block, else unsharded)",
+    )
+    run_parser.add_argument(
+        "--router", choices=("hash", "least-loaded", "cost-aware"),
+        default=None,
+        help="how client sessions spread across shards (default hash, or "
+             "the scenario's own policy)",
+    )
+    run_parser.add_argument(
+        "--rebalance", choices=("static", "interval"), default=None,
+        help="cost-limit partitioning: once up front (static, parallel-"
+             "safe) or re-split every control interval (interval, jobs=1)",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for static-mode shards (0 = one per CPU)",
     )
     run_parser.set_defaults(func=_cmd_run)
 

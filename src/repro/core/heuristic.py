@@ -56,6 +56,17 @@ class DeficitAllocator:
         """Number of plans produced."""
         return self._solve_calls
 
+    def set_system_cost_limit(self, limit: float) -> None:
+        """Retarget the allocator to a new global budget.
+
+        Stateless between solves (no solution cache), so this is a plain
+        guarded assignment — kept as a method so both solver kinds share
+        the interface the sharded rebalancer calls.
+        """
+        if limit <= 0:
+            raise SchedulingError("system_cost_limit must be positive")
+        self.system_cost_limit = limit
+
     def register_instruments(self, registry: "MetricsRegistry") -> None:  # noqa: F821
         """Publish the allocator's counters into a registry."""
         registry.counter(

@@ -124,6 +124,22 @@ class PerformanceSolver:
         """Solves answered from the solution cache (inputs unchanged)."""
         return self._cache_hits
 
+    def set_system_cost_limit(self, limit: float) -> None:
+        """Retarget the solver to a new global budget.
+
+        The solution cache is keyed only by class statuses and model
+        state (the budget is normally fixed per instance), so changing
+        the budget must drop it — a cached plan for the old budget would
+        otherwise be replayed under the new one.  The sharded control
+        plane's interval rebalancing re-splits the global limit across
+        shard solvers through this.
+        """
+        if limit <= 0:
+            raise SchedulingError("system_cost_limit must be positive")
+        if limit != self.system_cost_limit:
+            self.system_cost_limit = limit
+            self._solution_cache.clear()
+
     def register_instruments(self, registry: "MetricsRegistry") -> None:  # noqa: F821
         """Publish the solver's search counters into a registry."""
         registry.counter(

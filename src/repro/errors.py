@@ -64,6 +64,16 @@ class MetricsError(ReproError):
     """
 
 
+class ExportError(ReproError):
+    """Writing an artifact (telemetry, spans, results) to disk failed.
+
+    The common case is overwrite protection: exporters refuse to clobber
+    an existing file unless the caller passes ``overwrite=True`` — a
+    multi-shard run writing several artifacts into one directory must
+    never silently truncate a sibling shard's records.
+    """
+
+
 class PatrollerError(ReproError):
     """The Query Patroller substrate was driven through an illegal transition.
 

@@ -91,6 +91,15 @@ class RunRequest:
             return self.spec.config.seed
         return self.config.seed if self.config is not None else None
 
+    @property
+    def request_label(self) -> str:
+        """The request's display identity — the explicit label, or a
+        derived ``controller:seed`` form.  Batch builders (``sweep``,
+        ``replicate``, the sharded runner) guarantee these are unique
+        within one batch, so progress lines and result tables never
+        conflate two runs."""
+        return self.describe()
+
     def describe(self) -> str:
         """Short human-readable identity for logs and progress lines."""
         if self.label:
@@ -125,6 +134,13 @@ class RunSummary:
     #: Solver statistics (``solve_calls``, ``total_evaluations``,
     #: ``last_objective``) when the run produced telemetry.
     solver_stats: Dict[str, object] = field(default_factory=dict)
+    #: Completed queries per class — the aggregation weights: cross-run
+    #: attainment pools by these counts instead of averaging run means.
+    class_completions: Dict[str, int] = field(default_factory=dict)
+    #: Per-class response-time histogram states
+    #: (:meth:`~repro.sim.stats.Histogram.to_dict` dicts, merged over the
+    #: run's periods) so percentile reporting composes across runs/shards.
+    response_histograms: Dict[str, Dict] = field(default_factory=dict)
 
     def metric_mean(self, class_name: str) -> Optional[float]:
         """Mean of the class's non-empty period metrics (None if all empty)."""
@@ -181,6 +197,11 @@ def summarize_result(
             "total_evaluations": sum(r.solver.evaluations for r in records),
             "last_objective": last.solver.objective,
         }
+    histograms: Dict[str, Dict] = {}
+    for service_class in result.classes:
+        merged = result.collector.class_response_histogram(service_class.name)
+        if merged is not None:
+            histograms[service_class.name] = merged.to_dict()
     return RunSummary(
         controller=result.controller_name,
         seed=result.config.seed,
@@ -191,6 +212,8 @@ def summarize_result(
         label=label,
         telemetry_records=records,
         solver_stats=solver_stats,
+        class_completions=result.collector.completions_by_class(),
+        response_histograms=histograms,
     )
 
 

@@ -33,17 +33,44 @@ from repro.workloads.schedule import PeriodSchedule
 
 @dataclass
 class ClassReplicationStats:
-    """Across-seed aggregates for one service class."""
+    """Across-seed aggregates for one service class.
+
+    Two attainment views coexist: ``attainment`` (the per-run Welford
+    accumulator — unweighted across-run mean and spread, the right lens
+    for run-to-run *variance*) and :attr:`weighted_attainment` (pooled by
+    completed-query counts — the right lens for the *overall* SLO report,
+    where a run that completed 40 queries must not weigh the same as one
+    that completed 40,000).
+    """
 
     class_name: str
     attainment: WelfordAccumulator = field(default_factory=WelfordAccumulator)
     metric_mean: WelfordAccumulator = field(default_factory=WelfordAccumulator)
+    #: Total completed queries of this class across all runs.
+    completions: int = 0
+    #: Sum of per-run ``attainment * completions`` (weighted numerator).
+    _weighted_sum: float = 0.0
+
+    def add_run(self, attainment: float, completions: int) -> None:
+        """Fold one run's attainment with its completed-query weight."""
+        self.attainment.add(attainment)
+        self.completions += int(completions)
+        self._weighted_sum += attainment * completions
+
+    @property
+    def weighted_attainment(self) -> float:
+        """Attainment pooled by completed-query counts (not mean-of-means)."""
+        if self.completions <= 0:
+            return self.attainment.mean
+        return self._weighted_sum / self.completions
 
     def summary(self) -> Dict[str, float]:
         """Plain-dict summary (JSON-friendly)."""
         return {
             "attainment_mean": self.attainment.mean,
             "attainment_std": self.attainment.stddev,
+            "attainment_weighted": self.weighted_attainment,
+            "completions": self.completions,
             "metric_mean": self.metric_mean.mean,
             "metric_std": self.metric_mean.stddev,
             "runs": self.attainment.count,
@@ -69,8 +96,15 @@ class ReplicationSummary:
     errors: List[RunFailure] = field(default_factory=list)
 
     def attainment_mean(self, class_name: str) -> float:
-        """Mean across-seed attainment of a class."""
-        return self.per_class[class_name].attainment.mean
+        """Across-seed attainment of a class, weighted by completions.
+
+        Pooled by completed-query counts: a seed that completed ten times
+        the queries contributes ten times the weight (averaging per-run
+        means skews the SLO report whenever runs complete unequal
+        volumes).  The unweighted across-run mean remains available as
+        ``per_class[name].attainment.mean``.
+        """
+        return self.per_class[class_name].weighted_attainment
 
     def attainment_std(self, class_name: str) -> float:
         """Across-seed standard deviation of a class's attainment."""
@@ -112,7 +146,10 @@ def _aggregate(
         summary = outcome.summary
         for name in summary.class_names:
             stats = per_class.setdefault(name, ClassReplicationStats(name))
-            stats.attainment.add(summary.attainment[name])
+            stats.add_run(
+                summary.attainment[name],
+                summary.class_completions.get(name, 0),
+            )
             mean = summary.metric_mean(name)
             if mean is not None:
                 stats.metric_mean.add(mean)
@@ -182,7 +219,11 @@ def format_comparison(
     summaries: Dict[str, ReplicationSummary],
     class_names: Sequence[str],
 ) -> str:
-    """ASCII table of mean +/- std attainment per controller and class."""
+    """ASCII table of attainment per controller and class.
+
+    The headline number is the completion-weighted attainment; the ``+/-``
+    spread is the unweighted across-run standard deviation.
+    """
     lines = []
     header = "{:>12} |".format("controller") + "".join(
         " {:>16} |".format(name) for name in class_names
@@ -197,7 +238,7 @@ def format_comparison(
                 row += " {:>16} |".format("-")
             else:
                 row += " {:>7.0%} +/-{:>4.0%} |".format(
-                    stats.attainment.mean, stats.attainment.stddev
+                    stats.weighted_attainment, stats.attainment.stddev
                 )
         lines.append(row)
         for failure in summary.errors:

@@ -191,6 +191,33 @@ def realtime_smoke_schedule(
     )
 
 
+def default_schedule(
+    config: SimulationConfig,
+    classes: List[ServiceClass],
+    backend: str = "sim",
+) -> PeriodSchedule:
+    """The schedule a spec without an explicit one runs (backend-aware).
+
+    The simulation backend gets the paper's Figure 3 schedule trimmed to
+    the configured period count; real-time backends get the light
+    :func:`realtime_smoke_schedule`.  Factored out of :func:`build_bundle`
+    so harnesses that pre-partition schedules (the sharded control plane)
+    resolve exactly the schedule a plain run would.
+    """
+    if backend != "sim":
+        return realtime_smoke_schedule(config, classes)
+    schedule = paper_schedule(config.scale.period_seconds)
+    if schedule.num_periods != config.scale.num_periods:
+        schedule = PeriodSchedule(
+            config.scale.period_seconds,
+            {
+                name: series[: config.scale.num_periods]
+                for name, series in schedule.counts.items()
+            },
+        )
+    return schedule
+
+
 def build_bundle(
     config: Optional[SimulationConfig] = None,
     schedule: Optional[PeriodSchedule] = None,
@@ -210,18 +237,7 @@ def build_bundle(
     config = (config or default_config()).validate()
     classes = list(classes) if classes is not None else list(paper_classes())
     if schedule is None:
-        if backend != "sim":
-            schedule = realtime_smoke_schedule(config, classes)
-        else:
-            schedule = paper_schedule(config.scale.period_seconds)
-            if schedule.num_periods != config.scale.num_periods:
-                schedule = PeriodSchedule(
-                    config.scale.period_seconds,
-                    {
-                        name: series[: config.scale.num_periods]
-                        for name, series in schedule.counts.items()
-                    },
-                )
+        schedule = default_schedule(config, classes, backend)
     if mixes is None:
         olap = tpch_mix()
         oltp = tpcc_mix()

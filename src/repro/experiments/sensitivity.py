@@ -105,6 +105,7 @@ def sweep(
     values = list(values)
     if not values:
         raise ConfigurationError("sweep needs at least one value")
+    labels = _sweep_labels(dotted_path, values)
     if base_spec is not None:
         if any(arg is not None for arg in (config, schedule, classes)):
             raise ConfigurationError(
@@ -114,12 +115,12 @@ def sweep(
         requests = [
             RunRequest(
                 controller=base_spec.controller,
-                label="{}={!r}".format(dotted_path, value),
+                label=label,
                 spec=base_spec.with_overrides(
                     config=set_config_field(base, dotted_path, value)
                 ),
             )
-            for value in values
+            for value, label in zip(values, labels)
         ]
         outcomes = run_requests(requests, jobs=jobs, progress=progress)
         return _collect_entries(dotted_path, values, outcomes)
@@ -130,12 +131,30 @@ def sweep(
             config=set_config_field(base, dotted_path, value),
             schedule=schedule,
             classes=tuple(classes) if classes is not None else None,
-            label="{}={!r}".format(dotted_path, value),
+            label=label,
         )
-        for value in values
+        for value, label in zip(values, labels)
     ]
     outcomes = run_requests(requests, jobs=jobs, progress=progress)
     return _collect_entries(dotted_path, values, outcomes)
+
+
+def _sweep_labels(dotted_path: str, values) -> List[str]:
+    """One unique ``path=value`` label per sweep point.
+
+    Repeated values (a legitimate sweep — e.g. probing run-to-run noise
+    by sweeping ``seed`` over ``[7, 7, 7]``) get an ordinal suffix, so
+    ``RunRequest.request_label`` values are unique within the batch and
+    progress lines never conflate two points.
+    """
+    labels: List[str] = []
+    seen: Dict[str, int] = {}
+    for value in values:
+        label = "{}={!r}".format(dotted_path, value)
+        ordinal = seen.get(label, 0)
+        seen[label] = ordinal + 1
+        labels.append(label if ordinal == 0 else "{}#{}".format(label, ordinal + 1))
+    return labels
 
 
 def _collect_entries(dotted_path: str, values, outcomes) -> List[SweepEntry]:

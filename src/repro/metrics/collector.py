@@ -186,6 +186,33 @@ class MetricsCollector:
         met = sum(1 for v in observed if service_class.goal.satisfied(v))
         return met / len(observed)
 
+    def completions_by_class(self) -> Dict[str, int]:
+        """Total completed queries per class (zero for idle classes).
+
+        The weights for cross-run/cross-shard attainment aggregation —
+        see :func:`repro.metrics.aggregate.weighted_attainment`.
+        """
+        totals = {service_class.name: 0 for service_class in self.classes}
+        for (_, class_name), cell in self._cells.items():
+            totals[class_name] = totals.get(class_name, 0) + cell.completions
+        return totals
+
+    def class_response_histogram(self, class_name: str) -> Optional[Histogram]:
+        """One response-time histogram over all periods of a class.
+
+        Merges the per-period cell histograms (without mutating them);
+        ``None`` when the class completed nothing.
+        """
+        from repro.metrics.aggregate import merge_histograms
+
+        return merge_histograms(
+            [
+                cell.response_histogram
+                for (_, name), cell in sorted(self._cells.items())
+                if name == class_name
+            ]
+        )
+
     def plan_series(self, class_name: str) -> List[Tuple[float, float]]:
         """(time, cost limit) points for one class (Figure 7's raw data)."""
         return [

@@ -26,8 +26,11 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from repro.errors import ExportError
 
 if TYPE_CHECKING:  # imported lazily to keep this importable from anywhere
     from repro.core.dispatcher import Dispatcher
@@ -319,8 +322,19 @@ class TelemetryStore:
         """All records as JSON Lines text (one record per line)."""
         return "".join(json.dumps(r.to_dict()) + "\n" for r in self._records)
 
-    def save_jsonl(self, path: str) -> None:
-        """Write the JSONL export to ``path``."""
+    def save_jsonl(self, path: str, overwrite: bool = False) -> None:
+        """Write the JSONL export to ``path``.
+
+        Refuses to clobber an existing file unless ``overwrite=True``
+        (raising :class:`~repro.errors.ExportError`): several runs — or
+        several shards of one run — exporting into the same directory
+        must never silently truncate each other's records.
+        """
+        if not overwrite and os.path.exists(path):
+            raise ExportError(
+                "telemetry export target {!r} already exists; pass "
+                "overwrite=True to replace it".format(path)
+            )
         with open(path, "w") as handle:
             handle.write(self.to_jsonl())
 

@@ -30,7 +30,11 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Tuple
 
 from repro.dbms.query import Query, QueryState, make_phases
+from repro.errors import SimulationError
 from repro.runtime.protocols import ExecutionBackend
+
+#: The two admissible past-deadline contracts a timer service may declare.
+PAST_DEADLINE_POLICIES = ("raise", "clamp")
 
 #: Query-id namespace for conformance queries, far above workload ids.
 _ID_BASE = 1_000_000
@@ -307,6 +311,72 @@ def check_cost_accounting(backend: ExecutionBackend) -> List[str]:
     return problems
 
 
+def check_past_deadline_contract(backend: ExecutionBackend) -> List[str]:
+    """The timer service declares and honours a past-deadline policy.
+
+    Negative *delays* are caller bugs on every backend and must raise
+    :class:`~repro.errors.SimulationError`.  For an absolute time already
+    in the past the two substrates legitimately differ, so each service
+    declares its contract via ``past_deadline_policy``:
+
+    * ``"raise"`` (the simulator) — a virtual clock only moves when the
+      loop moves it, so scheduling before ``now`` is always a bug;
+    * ``"clamp"`` (the real-time service) — on a moving wall clock "now"
+      has always advanced past the caller's arithmetic, so the timer
+      fires immediately (and is never observed firing before the time it
+      was scheduled).
+    """
+    problems: List[str] = []
+    timers = backend.timers
+    policy = getattr(timers, "past_deadline_policy", None)
+    if policy not in PAST_DEADLINE_POLICIES:
+        problems.append(
+            "timer service declares past_deadline_policy={!r}; expected "
+            "one of {}".format(policy, PAST_DEADLINE_POLICIES)
+        )
+        return problems
+    try:
+        timers.schedule(-0.01, lambda: None, label="conformance:negative")
+    except SimulationError:
+        pass
+    else:
+        problems.append("schedule() accepted a negative delay without raising")
+    # Advance a little so "the past" exists even on a fresh clock.
+    backend.run_until(backend.clock.now + 0.05)
+    past = backend.clock.now - 0.02
+    fired: List[float] = []
+    if policy == "raise":
+        try:
+            timers.schedule_at(past, lambda: fired.append(backend.clock.now),
+                               label="conformance:past")
+        except SimulationError:
+            pass
+        else:
+            problems.append(
+                "policy 'raise' but schedule_at() in the past did not raise"
+            )
+        if fired:
+            problems.append("past-deadline timer fired under policy 'raise'")
+    else:
+        scheduled_at = backend.clock.now
+        try:
+            timers.schedule_at(past, lambda: fired.append(backend.clock.now),
+                               label="conformance:past")
+        except SimulationError:
+            problems.append("policy 'clamp' but schedule_at() in the past raised")
+            return problems
+        if not _drain(backend, lambda: bool(fired), step=0.02, limit=2.0):
+            problems.append(
+                "policy 'clamp' but the past-deadline timer never fired"
+            )
+        elif fired[0] < scheduled_at - 1e-9:
+            problems.append(
+                "clamped timer observed now={:.4f} before its scheduling "
+                "instant {:.4f}".format(fired[0], scheduled_at)
+            )
+    return problems
+
+
 #: The suite, in execution order.  Each check gets a fresh backend.
 CONFORMANCE_CHECKS: Dict[str, Callable[[ExecutionBackend], List[str]]] = {
     "clock_monotonicity": check_clock_monotonicity,
@@ -314,6 +384,7 @@ CONFORMANCE_CHECKS: Dict[str, Callable[[ExecutionBackend], List[str]]] = {
     "timer_cancellation": check_timer_cancellation,
     "completion_balance": check_completion_balance,
     "cost_accounting": check_cost_accounting,
+    "past_deadline_contract": check_past_deadline_contract,
 }
 
 

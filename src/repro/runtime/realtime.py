@@ -108,6 +108,11 @@ class RealTimeTimerService:
     always advanced by the time the caller's arithmetic lands.
     """
 
+    #: Declared past-deadline contract (see
+    #: :mod:`repro.runtime.conformance`): ``schedule_at`` with a time in
+    #: the past clamps to "fire immediately" instead of raising.
+    past_deadline_policy = "clamp"
+
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock: Clock = clock if clock is not None else WallClock()
         self._heap: List[_Timer] = []
@@ -144,12 +149,20 @@ class RealTimeTimerService:
         label: str = "",
         priority: int = DEFAULT_PRIORITY,
     ) -> RealTimeTimerHandle:
-        """Fire ``callback`` ``delay`` seconds from now."""
+        """Fire ``callback`` ``delay`` seconds from now.
+
+        "Now" is read under the service lock, in the same critical section
+        that enqueues the timer: concurrent shard workers posting
+        completions must never compute a due time from a stale clock read
+        taken before another scheduler advanced past it.
+        """
         if delay < 0:
             raise SimulationError(
                 "cannot schedule timer {!r} with negative delay {}".format(label, delay)
             )
-        return self.schedule_at(self.now + delay, callback, label, priority)
+        with self._cond:
+            timer = self._push(self.clock.now + delay, callback, label, priority)
+        return RealTimeTimerHandle(timer)
 
     def schedule_at(
         self,
@@ -160,11 +173,22 @@ class RealTimeTimerService:
     ) -> RealTimeTimerHandle:
         """Fire ``callback`` once the wall clock reaches ``time``."""
         with self._cond:
-            timer = _Timer(time, priority, self._seq, callback, label)
-            self._seq += 1
-            heapq.heappush(self._heap, timer)
-            self._cond.notify_all()
+            timer = self._push(time, callback, label, priority)
         return RealTimeTimerHandle(timer)
+
+    def _push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        label: str,
+        priority: int,
+    ) -> _Timer:
+        """Enqueue one timer and wake the loop (caller holds the lock)."""
+        timer = _Timer(time, priority, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, timer)
+        self._cond.notify_all()
+        return timer
 
     # ------------------------------------------------------------------
     # The loop (caller thread only)

@@ -30,9 +30,11 @@ from repro.scenarios.spec import (
     ScenarioClass,
     ScenarioFault,
     ScenarioSpec,
+    ShardPlan,
     scenario_from_mapping,
     scenario_to_mapping,
     to_experiment_spec,
+    to_sharded_experiment_spec,
 )
 
 __all__ = [
@@ -44,6 +46,7 @@ __all__ = [
     "ScenarioClass",
     "ScenarioFault",
     "ScenarioSpec",
+    "ShardPlan",
     "find_scenario",
     "library_names",
     "library_paths",
@@ -56,5 +59,6 @@ __all__ = [
     "scenario_to_mapping",
     "scenario_to_yaml",
     "to_experiment_spec",
+    "to_sharded_experiment_spec",
     "validate_library",
 ]

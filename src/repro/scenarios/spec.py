@@ -47,7 +47,10 @@ _TOP_LEVEL_KEYS = (
     "control",
     "classes",
     "faults",
+    "shards",
 )
+
+_SHARD_KEYS = ("count", "router", "rebalance", "seed_stride")
 
 _CLASS_KEYS = ("name", "kind", "goal", "importance", "clients")
 
@@ -166,6 +169,77 @@ class ClientCurve:
             )
         curve.validate(context)
         return curve
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The scenario's ``shards:`` block: how the deployment scales out.
+
+    Compiles (with the rest of the scenario) to a
+    :class:`~repro.shard.spec.ShardedExperimentSpec`; ``count: 1`` is the
+    unsharded deployment and round-trips like any other block.
+    """
+
+    count: int
+    router: str = "hash"
+    rebalance: str = "static"
+    seed_stride: int = 1000
+
+    def validate(self, context: str = "shards") -> None:
+        from repro.shard.router import ROUTER_NAMES
+        from repro.shard.spec import REBALANCE_MODES
+
+        if not isinstance(self.count, int) or isinstance(self.count, bool) or self.count < 1:
+            raise ScenarioError(
+                "{}: count must be a positive integer, got {!r}".format(
+                    context, self.count
+                )
+            )
+        if self.router not in ROUTER_NAMES:
+            raise ScenarioError(
+                "{}: unknown router {!r}; expected one of {}".format(
+                    context, self.router, ROUTER_NAMES
+                )
+            )
+        if self.rebalance not in REBALANCE_MODES:
+            raise ScenarioError(
+                "{}: unknown rebalance mode {!r}; expected one of {}".format(
+                    context, self.rebalance, REBALANCE_MODES
+                )
+            )
+        if not isinstance(self.seed_stride, int) or self.seed_stride < 1:
+            raise ScenarioError(
+                "{}: seed_stride must be a positive integer, got {!r}".format(
+                    context, self.seed_stride
+                )
+            )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        mapping: Dict[str, Any] = {"count": self.count}
+        if self.router != "hash":
+            mapping["router"] = self.router
+        if self.rebalance != "static":
+            mapping["rebalance"] = self.rebalance
+        if self.seed_stride != 1000:
+            mapping["seed_stride"] = self.seed_stride
+        return mapping
+
+    @staticmethod
+    def from_value(value, context: str = "shards") -> "ShardPlan":
+        """Parse the YAML ``shards:`` value (mapping, or a bare count)."""
+        if isinstance(value, bool):
+            raise ScenarioError("{}: cannot be a boolean".format(context))
+        if isinstance(value, int):
+            value = {"count": value}
+        _check_keys(value, _SHARD_KEYS, context)
+        plan = ShardPlan(
+            count=int(_require(value, "count", context)),
+            router=str(value.get("router", "hash")),
+            rebalance=str(value.get("rebalance", "static")),
+            seed_stride=int(value.get("seed_stride", 1000)),
+        )
+        plan.validate(context)
+        return plan
 
 
 @dataclass(frozen=True)
@@ -354,6 +428,7 @@ class ScenarioSpec:
     horizon: Optional[float] = None
     control: Mapping = field(default_factory=dict)
     faults: Tuple[ScenarioFault, ...] = ()
+    shards: Optional[ShardPlan] = None
 
     @property
     def horizon_seconds(self) -> float:
@@ -456,6 +531,8 @@ class ScenarioSpec:
         schedule = self.build_schedule()
         self.build_classes()
         self.build_config()
+        if self.shards is not None:
+            self.shards.validate()
         for index, fault in enumerate(self.faults):
             fault.validate("faults[{}]".format(index))
             when = fault.seconds(self.period_seconds)
@@ -505,6 +582,8 @@ def scenario_to_mapping(spec: ScenarioSpec) -> Dict[str, Any]:
     mapping["classes"] = [c.to_mapping() for c in spec.classes]
     if spec.faults:
         mapping["faults"] = [f.to_mapping() for f in spec.faults]
+    if spec.shards is not None:
+        mapping["shards"] = spec.shards.to_mapping()
     return mapping
 
 
@@ -562,6 +641,9 @@ def scenario_from_mapping(mapping: Mapping) -> ScenarioSpec:
     if not isinstance(backend_options, Mapping):
         raise ScenarioError("'backend_options' must be a mapping")
 
+    shards_raw = mapping.get("shards")
+    shards = None if shards_raw is None else ShardPlan.from_value(shards_raw)
+
     horizon = mapping.get("horizon")
     spec = ScenarioSpec(
         name=str(_require(mapping, "name", "scenario")),
@@ -578,6 +660,7 @@ def scenario_from_mapping(mapping: Mapping) -> ScenarioSpec:
         horizon=None if horizon is None else float(horizon),
         control=dict(control),
         faults=faults,
+        shards=shards,
     )
     return spec.validate()
 
@@ -656,3 +739,32 @@ def to_experiment_spec(
             fault.scheduled(period_seconds, scale) for fault in spec.faults
         ),
     )
+
+
+def to_sharded_experiment_spec(
+    spec: ScenarioSpec,
+    smoke: bool = False,
+    invariants: Optional[str] = None,
+    seed: Optional[int] = None,
+    shards: Optional[int] = None,
+    router: Optional[str] = None,
+    rebalance: Optional[str] = None,
+) -> "ShardedExperimentSpec":  # noqa: F821
+    """Compile a scenario to a :class:`~repro.shard.spec.ShardedExperimentSpec`.
+
+    The scenario's ``shards:`` block supplies the fleet layout;
+    ``shards``/``router``/``rebalance`` override it (the CLI flags).  A
+    scenario without the block compiles to a one-shard plan — which runs
+    bit-identically to the unsharded path.
+    """
+    from repro.shard.spec import ShardedExperimentSpec
+
+    base = to_experiment_spec(spec, smoke=smoke, invariants=invariants, seed=seed)
+    plan = spec.shards or ShardPlan(count=1)
+    return ShardedExperimentSpec(
+        base=base,
+        shards=plan.count if shards is None else int(shards),
+        router=plan.router if router is None else str(router),
+        rebalance=plan.rebalance if rebalance is None else str(rebalance),
+        seed_stride=plan.seed_stride,
+    ).validate()

@@ -1,0 +1,286 @@
+"""The global coordinator: runs a shard fleet and merges the outcome.
+
+Two execution modes, selected by the spec's ``rebalance`` field:
+
+``"static"``
+    The global cost limit is split once up front (proportional to routed
+    cost-weighted demand, exact-sum); each shard is then a completely
+    independent run, fanned out through
+    :func:`~repro.experiments.parallel.run_requests` — ``jobs=N`` runs N
+    shards in worker processes, and (as everywhere in this package)
+    worker count never changes results.
+
+``"interval"``
+    Lockstep mode: every shard's deployment is built in-process and the
+    fleet advances in control-interval slices.  Between slices the
+    coordinator reads each shard's *live* demand (executing cost plus
+    cost-weighted held queries) and re-splits the global limit across
+    the shard solvers via
+    :meth:`~repro.core.solver.PerformanceSolver.set_system_cost_limit`.
+    Requires ``jobs=1`` (the slicing is inherently sequential) and the
+    Query Scheduler controller (only it exposes a solver to retarget).
+
+After either mode, the coordinator evaluates the *global* invariants
+(:mod:`repro.shard.invariants`) — routing conservation, cost-limit
+partition, completion conservation — and, when the base spec runs in
+strict mode, raises :class:`~repro.errors.InvariantViolation` on any.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.config import default_config
+from repro.errors import ConfigurationError, ExperimentError, InvariantViolation
+from repro.experiments.parallel import (
+    ProgressCallback,
+    RunRequest,
+    RunSummary,
+    resolve_jobs,
+    run_requests,
+    summarize_result,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    build_bundle,
+    make_controller,
+)
+from repro.shard.invariants import (
+    check_completion_conservation,
+    check_cost_partition,
+    check_routing_conservation,
+)
+from repro.shard.report import ShardedRunReport, build_sharded_report
+from repro.shard.spec import (
+    ShardedExperimentSpec,
+    default_class_weights,
+    split_cost_limit,
+)
+from repro.validation import Violation, attach_harness
+
+
+@dataclass
+class ShardedRunResult:
+    """Everything one sharded run produced."""
+
+    spec: ShardedExperimentSpec
+    summaries: List[RunSummary]
+    report: ShardedRunReport
+    #: Global invariant violations (also embedded in the report).
+    violations: List[Violation] = field(default_factory=list)
+    #: The per-shard cost limits in force at the end of the run (equal to
+    #: the static split in static mode; the last rebalance in interval mode).
+    final_cost_limits: List[float] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every global invariant held."""
+        return not self.violations
+
+
+def _shard_label(index: int) -> str:
+    return "shard{:02d}".format(index)
+
+
+def _spec_cost_limit(spec: ExperimentSpec) -> float:
+    config = spec.config if spec.config is not None else default_config()
+    return config.system_cost_limit
+
+
+def run_sharded(
+    spec: ShardedExperimentSpec,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> ShardedRunResult:
+    """Run every shard, evaluate the global invariants, merge the report.
+
+    ``jobs`` fans static-mode shards over worker processes exactly like
+    every other batch runner (``1`` = serial, ``None`` = one per CPU);
+    results are identical at any worker count.  A shard that crashes
+    raises :class:`~repro.errors.ExperimentError` naming it.  In strict
+    invariant mode a global violation raises
+    :class:`~repro.errors.InvariantViolation` after the report (with the
+    violations embedded) has been assembled.
+    """
+    spec.validate()
+    shard_specs = spec.shard_specs()
+    if spec.rebalance == "interval":
+        if resolve_jobs(jobs) != 1:
+            raise ConfigurationError(
+                "rebalance='interval' runs the fleet in lockstep and "
+                "requires jobs=1 (got jobs={!r}); use rebalance='static' "
+                "for parallel fan-out".format(jobs)
+            )
+        summaries, final_limits = _run_lockstep(spec, shard_specs)
+    else:
+        requests = [
+            RunRequest(
+                controller=shard_spec.controller,
+                label=_shard_label(index),
+                spec=shard_spec,
+            )
+            for index, shard_spec in enumerate(shard_specs)
+        ]
+        outcomes = run_requests(requests, jobs=jobs, progress=progress)
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            raise ExperimentError(
+                "{} of {} shards failed; first failure ({}):\n{}".format(
+                    len(failures),
+                    len(outcomes),
+                    failures[0].request.request_label,
+                    failures[0].error,
+                )
+            )
+        summaries = [outcome.summary for outcome in outcomes]
+        final_limits = [_spec_cost_limit(s) for s in shard_specs]
+
+    violations = _global_violations(spec, shard_specs, summaries, final_limits)
+    report = build_sharded_report(
+        summaries=summaries,
+        shards=spec.shards,
+        router=spec.router,
+        rebalance=spec.rebalance,
+        cost_limits=final_limits,
+        violations=violations,
+    )
+    result = ShardedRunResult(
+        spec=spec,
+        summaries=summaries,
+        report=report,
+        violations=violations,
+        final_cost_limits=list(final_limits),
+    )
+    if violations and spec.base.invariants == "strict":
+        raise InvariantViolation(
+            "global shard invariants violated:\n"
+            + "\n".join(v.describe() for v in violations)
+        )
+    return result
+
+
+def _global_violations(
+    spec: ShardedExperimentSpec,
+    shard_specs: Sequence[ExperimentSpec],
+    summaries: Sequence[RunSummary],
+    final_limits: Sequence[float],
+) -> List[Violation]:
+    """Evaluate every cross-shard invariant against the finished run."""
+    global_schedule = spec.resolved_schedule()
+    shard_schedules = [s.schedule for s in shard_specs if s.schedule is not None]
+    config = (spec.base.config or default_config()).validate()
+    end = global_schedule.horizon
+    violations = check_routing_conservation(global_schedule, shard_schedules, time=end)
+    violations += check_cost_partition(
+        config.system_cost_limit, final_limits, time=end
+    )
+    merged = {}
+    for summary in summaries:
+        for name, count in summary.class_completions.items():
+            merged[name] = merged.get(name, 0) + int(count)
+    violations += check_completion_conservation(
+        [summary.class_completions for summary in summaries], merged, time=end
+    )
+    return violations
+
+
+def _run_lockstep(
+    spec: ShardedExperimentSpec, shard_specs: Sequence[ExperimentSpec]
+) -> "tuple[List[RunSummary], List[float]]":
+    """Advance every shard in control-interval slices, re-splitting limits.
+
+    Mirrors :func:`~repro.experiments.runner.run_spec`'s assembly per
+    shard (bundle, controller, plan listener, per-shard invariant
+    harness), but owns the time loop: all shards run to the same slice
+    boundary before the coordinator reads their live demand and
+    retargets every shard solver with its new share.
+    """
+    base = spec.base
+    if base.controller not in ("qs", "qs_detect"):
+        raise ConfigurationError(
+            "rebalance='interval' retargets each shard's solver and "
+            "requires the Query Scheduler controller (qs/qs_detect), "
+            "got {!r}".format(base.controller)
+        )
+    if base.backend != "sim":
+        raise ConfigurationError(
+            "rebalance='interval' advances shards in virtual-time lockstep "
+            "and requires the simulation backend, got {!r}".format(base.backend)
+        )
+    if base.tracing or base.faults:
+        raise ConfigurationError(
+            "rebalance='interval' does not support tracing or scheduled "
+            "faults; use rebalance='static'"
+        )
+    config = (base.config or default_config()).validate()
+    classes = spec.resolved_classes()
+    weights = default_class_weights(classes)
+    mean_weight = sum(weights.values()) / len(weights) if weights else 1.0
+    total_limit = config.system_cost_limit
+    floor = spec.cost_floor()
+    interval = config.planner.control_interval
+
+    bundles = []
+    controllers = []
+    try:
+        for shard_spec in shard_specs:
+            bundle = build_bundle(
+                config=shard_spec.config,
+                schedule=shard_spec.schedule,
+                classes=shard_spec.classes,
+                backend=shard_spec.backend,
+                backend_options=dict(shard_spec.backend_options),
+            )
+            controller = make_controller(
+                bundle,
+                shard_spec.controller,
+                static_olap_limit=shard_spec.static_olap_limit,
+            )
+            controller.planner.add_plan_listener(bundle.collector.on_plan)
+            attach_harness(bundle, mode=shard_spec.invariants)
+            controller.start()
+            bundle.manager.start()
+            bundles.append(bundle)
+            controllers.append(controller)
+
+        horizon = max(bundle.schedule.horizon for bundle in bundles)
+        if base.horizon is not None:
+            horizon = min(horizon, base.horizon)
+        limits = [_spec_cost_limit(s) for s in shard_specs]
+        now = 0.0
+        while now < horizon:
+            now = min(now + interval, horizon)
+            for bundle in bundles:
+                bundle.run(horizon=now)
+            if now >= horizon:
+                break
+            demands = [
+                bundle.engine.executing_cost()
+                + bundle.patroller.held_queries * mean_weight
+                for bundle in bundles
+            ]
+            limits = split_cost_limit(total_limit, demands, floor)
+            for controller, limit in zip(controllers, limits):
+                controller.solver.set_system_cost_limit(limit)
+    finally:
+        for bundle in bundles:
+            bundle.close()
+
+    summaries = []
+    for index, (shard_spec, bundle) in enumerate(zip(shard_specs, bundles)):
+        result = ExperimentResult(
+            controller_name=shard_spec.controller,
+            config=bundle.config,
+            classes=bundle.classes,
+            schedule=bundle.schedule,
+            collector=bundle.collector,
+            bundle=bundle,
+        )
+        controller = controllers[index]
+        telemetry = getattr(controller, "telemetry", None)
+        if telemetry is not None:
+            result.extras["telemetry"] = telemetry.store
+        summaries.append(summarize_result(result, label=_shard_label(index)))
+    return summaries, list(limits)

@@ -1,0 +1,213 @@
+"""Routing policies: how client sessions spread across engine shards.
+
+The sharded control plane (see :mod:`repro.shard`) runs N independent
+engine shards, each a complete deployment with its own deterministic
+event loop.  Cross-shard coordination therefore happens at *admission
+granularity*: each (class, period) cell of the global
+:class:`~repro.workloads.schedule.PeriodSchedule` carries a client-session
+count, and a :class:`Router` partitions that count into per-shard counts.
+Every policy is deterministic — the same schedule, shard count and policy
+always produce the same partition, in any process (builtin ``hash()`` is
+salted per interpreter, so the hash policy uses ``zlib.crc32``).
+
+Three policies ship:
+
+``"hash"``
+    Spreads individual client slots by CRC32 of ``class:period:slot`` —
+    stateless, uniform in expectation, oblivious to cost.
+``"least-loaded"``
+    Greedy count balancing: each slot goes to the shard with the fewest
+    clients so far *this period* (loads reset at period boundaries, so
+    the routing re-balances whenever the workload mix shifts).
+``"cost-aware"``
+    Greedy *cost* balancing: like least-loaded, but each client carries
+    its class's mean per-query resource demand as weight, so a shard
+    full of heavy OLAP sessions receives fewer of them than a shard full
+    of light OLTP sessions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.workloads.schedule import PeriodSchedule
+
+#: Routing policy names accepted by :func:`make_router`.
+ROUTER_NAMES = ("hash", "least-loaded", "cost-aware")
+
+
+class Router:
+    """Base routing policy: split one (class, period) count across shards.
+
+    Subclasses implement :meth:`split`; :meth:`begin_period` is a hook
+    for per-period state resets.  The contract every policy must keep:
+    the returned list has exactly ``num_shards`` non-negative entries
+    summing to ``count`` (the conservation invariant checks this again
+    end-to-end), and the same inputs always yield the same output.
+    """
+
+    name = "base"
+
+    def begin_period(self, period: int) -> None:
+        """Called once before the period's classes are split (in order)."""
+
+    def split(self, class_name: str, period: int, count: int, num_shards: int) -> List[int]:
+        """Per-shard client counts for one (class, period) cell."""
+        raise NotImplementedError
+
+
+class HashRouter(Router):
+    """Stateless spread by CRC32 of ``class:period:slot``.
+
+    Each of the cell's ``count`` client slots is hashed independently, so
+    two classes with equal counts still land on different shards.  CRC32
+    (not builtin ``hash``) keeps the placement identical across worker
+    processes and interpreter runs.
+    """
+
+    name = "hash"
+
+    def split(self, class_name: str, period: int, count: int, num_shards: int) -> List[int]:
+        counts = [0] * num_shards
+        for slot in range(count):
+            key = "{}:{}:{}".format(class_name, period, slot).encode("ascii")
+            counts[zlib.crc32(key) % num_shards] += 1
+        return counts
+
+
+class LeastLoadedRouter(Router):
+    """Greedy count balancing with per-period load reset.
+
+    Assigns each client slot to the shard carrying the fewest clients so
+    far in the current period (ties break toward the lowest shard
+    index).  Because loads reset at every period boundary, a workload
+    shift — a class ramping from 5 to 500 clients — is re-spread from
+    scratch rather than skewed by stale history.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self) -> None:
+        self._loads: List[float] = []
+
+    def begin_period(self, period: int) -> None:
+        self._loads = []
+
+    def _weight(self, class_name: str) -> float:
+        return 1.0
+
+    def split(self, class_name: str, period: int, count: int, num_shards: int) -> List[int]:
+        if len(self._loads) != num_shards:
+            self._loads = [0.0] * num_shards
+        counts = [0] * num_shards
+        weight = self._weight(class_name)
+        for _ in range(count):
+            shard = min(range(num_shards), key=lambda i: (self._loads[i], i))
+            counts[shard] += 1
+            self._loads[shard] += weight
+        return counts
+
+
+class CostAwareRouter(LeastLoadedRouter):
+    """Greedy cost balancing: clients weighted by mean per-query demand.
+
+    ``class_weights`` maps class names to relative resource demands —
+    the sharded spec derives them from the class's workload mix (mean
+    template CPU+IO demand), so one TPC-H session counts for roughly a
+    hundred TPC-C sessions.  Classes without a weight count as 1.0.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self, class_weights: Optional[Dict[str, float]] = None) -> None:
+        super().__init__()
+        self.class_weights = dict(class_weights or {})
+
+    def _weight(self, class_name: str) -> float:
+        weight = float(self.class_weights.get(class_name, 1.0))
+        return weight if weight > 0 else 1.0
+
+
+def make_router(
+    name: str, class_weights: Optional[Dict[str, float]] = None
+) -> Router:
+    """Build a routing policy by name (see :data:`ROUTER_NAMES`).
+
+    ``class_weights`` feeds the cost-aware policy and is ignored by the
+    others, so callers can pass it unconditionally.
+    """
+    if name == "hash":
+        return HashRouter()
+    if name == "least-loaded":
+        return LeastLoadedRouter()
+    if name == "cost-aware":
+        return CostAwareRouter(class_weights)
+    raise ConfigurationError(
+        "unknown router {!r}; expected one of {}".format(name, ROUTER_NAMES)
+    )
+
+
+def partition_schedule(
+    schedule: PeriodSchedule,
+    num_shards: int,
+    router: Router,
+) -> List[PeriodSchedule]:
+    """Split a global schedule into one per-shard schedule per shard.
+
+    Walks periods in order and, within each period, class names in
+    sorted order (a deterministic traversal, so stateful routers see the
+    same sequence every time), asking ``router`` to split each cell's
+    client count.  Every shard's schedule has the same period length and
+    period count as the global one — a shard receiving zero clients in a
+    period simply idles through it.
+
+    The per-cell counts across the returned schedules sum exactly to the
+    global schedule's (checked here eagerly, and again end-to-end by the
+    routing-conservation invariant).
+    """
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be >= 1")
+    per_shard: List[Dict[str, List[int]]] = [
+        {name: [0] * schedule.num_periods for name in schedule.counts}
+        for _ in range(num_shards)
+    ]
+    for period in range(schedule.num_periods):
+        router.begin_period(period)
+        for class_name in sorted(schedule.counts):
+            count = schedule.counts[class_name][period]
+            shares = router.split(class_name, period, count, num_shards)
+            if len(shares) != num_shards or any(s < 0 for s in shares) or sum(shares) != count:
+                raise ConfigurationError(
+                    "router {!r} returned an invalid split {} for {} clients "
+                    "of {!r} in period {}".format(
+                        router.name, shares, count, class_name, period
+                    )
+                )
+            for shard, share in enumerate(shares):
+                per_shard[shard][class_name][period] = share
+    return [
+        PeriodSchedule(schedule.period_seconds, counts) for counts in per_shard
+    ]
+
+
+def routed_demand(
+    shard_schedules: Sequence[PeriodSchedule],
+    class_weights: Optional[Dict[str, float]] = None,
+) -> List[float]:
+    """Cost-weighted client volume routed to each shard.
+
+    The static cost-partition signal: ``sum over (class, period)`` of the
+    routed client count times the class's weight.  Uniform weights (the
+    default) reduce this to total routed client-periods.
+    """
+    weights = class_weights or {}
+    demands: List[float] = []
+    for schedule in shard_schedules:
+        total = 0.0
+        for class_name, series in schedule.counts.items():
+            weight = float(weights.get(class_name, 1.0))
+            total += weight * sum(series)
+        demands.append(total)
+    return demands

@@ -38,6 +38,11 @@ class Simulator:
         interleavings but too expensive to leave on for long runs.
     """
 
+    #: Declared past-deadline contract (see
+    #: :mod:`repro.runtime.conformance`): on a virtual clock "the past" is
+    #: always a bug, so ``schedule_at`` before ``now`` raises.
+    past_deadline_policy = "raise"
+
     def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self.now = 0.0
         self._heap: List[_HeapEntry] = []

@@ -250,6 +250,72 @@ class Histogram:
             return self.high + fraction * (self.max_value - self.high)
         return self.max_value
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one (parallel merge).
+
+        The counterpart of :meth:`WelfordAccumulator.merge` for percentile
+        reporting: per-shard response-time histograms merge into one
+        cross-shard distribution without re-observing any sample.  Both
+        histograms must share the same ``[low, high)`` range and bin
+        count; bins, underflow and overflow sum, and the exact extremes
+        combine as min/max, so ``percentile`` on the merged histogram is
+        identical to a histogram fed the concatenated observations.
+        """
+        if (other.low, other.high, other.bins) != (self.low, self.high, self.bins):
+            raise ValueError(
+                "cannot merge Histogram([{}, {}), bins={}) into "
+                "Histogram([{}, {}), bins={})".format(
+                    other.low, other.high, other.bins,
+                    self.low, self.high, self.bins,
+                )
+            )
+        for index in range(self.bins):
+            self._counts[index] += other._counts[index]
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.count += other.count
+        if other.min_value < self.min_value:
+            self.min_value = other.min_value
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+
     def counts(self) -> List[int]:
         """Per-bin counts (excludes under/overflow)."""
         return list(self._counts)
+
+    def to_dict(self) -> dict:
+        """Plain-data state (JSON/pickle friendly); see :meth:`from_dict`."""
+        return {
+            "low": self.low,
+            "high": self.high,
+            "bins": self.bins,
+            "counts": list(self._counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "count": self.count,
+            "min_value": self.min_value if self.count else None,
+            "max_value": self.max_value if self.count else None,
+        }
+
+    @staticmethod
+    def from_dict(state: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output."""
+        histogram = Histogram(
+            float(state["low"]), float(state["high"]), int(state["bins"])
+        )
+        counts = list(state["counts"])
+        if len(counts) != histogram.bins:
+            raise ValueError(
+                "histogram state has {} bins, header says {}".format(
+                    len(counts), histogram.bins
+                )
+            )
+        histogram._counts = [int(c) for c in counts]
+        histogram.underflow = int(state["underflow"])
+        histogram.overflow = int(state["overflow"])
+        histogram.count = int(state["count"])
+        if state.get("min_value") is not None:
+            histogram.min_value = float(state["min_value"])
+        if state.get("max_value") is not None:
+            histogram.max_value = float(state["max_value"])
+        return histogram

@@ -40,9 +40,45 @@ def test_replicate_aggregates_across_seeds():
         assert 0.0 <= stats.attainment.mean <= 1.0
         payload = stats.summary()
         assert set(payload) == {
-            "attainment_mean", "attainment_std", "metric_mean",
-            "metric_std", "runs",
+            "attainment_mean", "attainment_std", "attainment_weighted",
+            "completions", "metric_mean", "metric_std", "runs",
         }
+        assert payload["completions"] == stats.completions
+
+
+def test_weighted_attainment_pools_by_completions():
+    """The regression: a 40-query run must not weigh like a 40,000-query run.
+
+    Two runs with attainments 1.0 (10 completions) and 0.0 (990
+    completions): mean-of-means says 0.5, the pooled answer is 0.01.
+    """
+    from repro.experiments.replication import ClassReplicationStats
+
+    stats = ClassReplicationStats("class1")
+    stats.add_run(1.0, 10)
+    stats.add_run(0.0, 990)
+    assert stats.attainment.mean == pytest.approx(0.5)
+    assert stats.weighted_attainment == pytest.approx(0.01)
+    assert stats.completions == 1000
+
+
+def test_weighted_attainment_falls_back_without_completions():
+    from repro.experiments.replication import ClassReplicationStats
+
+    stats = ClassReplicationStats("class1")
+    stats.add_run(0.75, 0)
+    stats.add_run(0.25, 0)
+    assert stats.weighted_attainment == pytest.approx(0.5)
+
+
+def test_summary_attainment_mean_is_weighted():
+    summary = replicate(
+        "none", seeds=[1, 2, 3], config=tiny_config(), schedule=tiny_schedule()
+    )
+    for name in ("class1", "class2", "class3"):
+        assert summary.attainment_mean(name) == pytest.approx(
+            summary.per_class[name].weighted_attainment
+        )
 
 
 def test_replicate_requires_seeds():

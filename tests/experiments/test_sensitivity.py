@@ -136,3 +136,26 @@ class TestSweepBaseSpec:
                 "optimizer.noise_sigma", [0.1],
                 base_spec=self._base_spec(), config=tiny_config(),
             )
+
+
+class TestSweepSeedRepeats:
+    def test_repeated_seed_values_get_unique_labels(self):
+        from repro.experiments.sensitivity import _sweep_labels
+
+        labels = _sweep_labels("seed", [7, 7, 7])
+        assert len(set(labels)) == 3
+        assert labels[0] == "seed=7"
+        assert labels[1] == "seed=7#2"
+        assert labels[2] == "seed=7#3"
+
+    def test_sweep_same_seed_thrice_returns_three_points_in_order(self):
+        from repro.experiments.runner import ExperimentSpec
+
+        schedule = constant_schedule(20.0, 2, {"class1": 2, "class2": 2, "class3": 5})
+        base_spec = ExperimentSpec(
+            controller="none", config=tiny_config(), schedule=schedule
+        )
+        results = sweep("seed", [7, 7, 7], base_spec=base_spec)
+        assert [value for value, _ in results] == [7, 7, 7]
+        # Identical seeds run identical simulations.
+        assert results[0][1] == results[1][1] == results[2][1]

@@ -312,3 +312,25 @@ class TestOverheadTelemetry:
             assert "overhead" in record.to_dict()
         summary = store.overhead_summary()
         assert summary["total_s"]["count"] == len(store)
+
+
+class TestSaveJsonlOverwriteGuard:
+    def test_refuses_existing_file_by_default(self, tmp_path):
+        from repro.errors import ExportError
+
+        store = TelemetryStore()
+        store.append(_record(time=10.0))
+        path = tmp_path / "trace.jsonl"
+        path.write_text("precious\n")
+        with pytest.raises(ExportError, match="overwrite"):
+            store.save_jsonl(str(path))
+        assert path.read_text() == "precious\n"
+
+    def test_overwrite_flag_replaces_file(self, tmp_path):
+        store = TelemetryStore()
+        store.append(_record(time=10.0))
+        path = tmp_path / "trace.jsonl"
+        path.write_text("precious\n")
+        store.save_jsonl(str(path), overwrite=True)
+        rows = TelemetryStore.load_jsonl(str(path))
+        assert len(rows) == 1 and rows[0]["time"] == 10.0

@@ -132,3 +132,27 @@ class TestLoadSpansDispatch:
     def test_empty_directory_rejected(self, tmp_path):
         with pytest.raises(SimulationError):
             load_spans(str(tmp_path))
+
+
+class TestOverwriteGuards:
+    def test_spans_jsonl_refuses_existing_file(self, tmp_path):
+        from repro.errors import ExportError
+
+        path = tmp_path / "spans.jsonl"
+        path.write_text("precious\n")
+        with pytest.raises(ExportError, match="overwrite"):
+            save_spans_jsonl(make_spans(), str(path))
+        assert path.read_text() == "precious\n"
+        save_spans_jsonl(make_spans(), str(path), overwrite=True)
+        assert load_spans(str(path))
+
+    def test_chrome_trace_refuses_existing_file(self, tmp_path):
+        from repro.errors import ExportError
+
+        path = tmp_path / "trace.json"
+        path.write_text("precious\n")
+        with pytest.raises(ExportError, match="overwrite"):
+            save_chrome_trace(make_spans(), str(path))
+        assert path.read_text() == "precious\n"
+        save_chrome_trace(make_spans(), str(path), overwrite=True)
+        assert load_spans(str(path))

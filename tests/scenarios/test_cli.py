@@ -71,7 +71,7 @@ class TestScenariosCommand:
         code = main(["scenarios", "--validate-all"])
         out = capsys.readouterr().out
         assert code == 0
-        assert "6 of 6 scenarios valid" in out
+        assert "7 of 7 scenarios valid" in out
 
     def test_validate_all_fails_on_a_broken_file(self, tmp_path, capsys):
         bad = tmp_path / "bad.yaml"

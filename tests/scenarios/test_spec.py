@@ -18,6 +18,7 @@ from repro.scenarios import (
     scenario_to_mapping,
     scenario_to_yaml,
     to_experiment_spec,
+    to_sharded_experiment_spec,
 )
 
 yaml = pytest.importorskip("yaml")
@@ -357,3 +358,104 @@ class TestToExperimentSpec:
         fault.validate()
         with pytest.raises(ScenarioError, match="exactly one"):
             ScenarioFault(kind="cancel_storm").validate()
+
+
+class TestShardPlan:
+    def _sharded_mapping(self, shards):
+        return minimal_mapping(shards=shards)
+
+    def test_full_block_parses(self):
+        spec = scenario_from_mapping(
+            self._sharded_mapping(
+                {"count": 4, "router": "cost-aware", "rebalance": "interval",
+                 "seed_stride": 50}
+            )
+        )
+        assert spec.shards.count == 4
+        assert spec.shards.router == "cost-aware"
+        assert spec.shards.rebalance == "interval"
+        assert spec.shards.seed_stride == 50
+
+    def test_bare_int_shorthand(self):
+        spec = scenario_from_mapping(self._sharded_mapping(3))
+        assert spec.shards.count == 3
+        assert spec.shards.router == "hash"
+        assert spec.shards.rebalance == "static"
+
+    def test_round_trip_is_identity(self):
+        spec = scenario_from_mapping(
+            self._sharded_mapping({"count": 6, "router": "least-loaded"})
+        )
+        assert scenario_from_mapping(scenario_to_mapping(spec)) == spec
+        assert loads_scenario(scenario_to_yaml(spec)) == spec
+
+    def test_defaults_omitted_from_document(self):
+        spec = scenario_from_mapping(self._sharded_mapping({"count": 2}))
+        mapping = scenario_to_mapping(spec)
+        assert mapping["shards"] == {"count": 2}
+
+    def test_unsharded_document_has_no_shards_key(self):
+        mapping = scenario_to_mapping(scenario_from_mapping(minimal_mapping()))
+        assert "shards" not in mapping
+
+    def test_bad_router_rejected(self):
+        with pytest.raises(ScenarioError, match="router"):
+            scenario_from_mapping(
+                self._sharded_mapping({"count": 2, "router": "roulette"})
+            )
+
+    def test_bad_rebalance_rejected(self):
+        with pytest.raises(ScenarioError, match="rebalance"):
+            scenario_from_mapping(
+                self._sharded_mapping({"count": 2, "rebalance": "never"})
+            )
+
+    def test_boolean_count_rejected(self):
+        with pytest.raises(ScenarioError):
+            scenario_from_mapping(self._sharded_mapping(True))
+
+    def test_non_positive_count_rejected(self):
+        with pytest.raises(ScenarioError, match="count"):
+            scenario_from_mapping(self._sharded_mapping(0))
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown"):
+            scenario_from_mapping(
+                self._sharded_mapping({"count": 2, "policy": "hash"})
+            )
+
+
+class TestToShardedExperimentSpec:
+    def test_document_plan_carries_through(self):
+        spec = scenario_from_mapping(
+            minimal_mapping(shards={"count": 2, "router": "least-loaded"})
+        )
+        sharded = to_sharded_experiment_spec(spec)
+        assert sharded.shards == 2
+        assert sharded.router == "least-loaded"
+        assert sharded.rebalance == "static"
+        assert sharded.base.controller == "qs"
+
+    def test_unsharded_document_defaults_to_one_shard(self):
+        sharded = to_sharded_experiment_spec(scenario_from_mapping(minimal_mapping()))
+        assert sharded.shards == 1
+
+    def test_cli_overrides_beat_the_document(self):
+        spec = scenario_from_mapping(minimal_mapping(shards={"count": 2}))
+        sharded = to_sharded_experiment_spec(
+            spec, shards=3, router="cost-aware", rebalance="interval", seed=42
+        )
+        assert sharded.shards == 3
+        assert sharded.router == "cost-aware"
+        assert sharded.rebalance == "interval"
+        assert sharded.base.config.seed == 42
+
+    def test_smoke_compresses_base_spec(self):
+        spec = scenario_from_mapping(
+            minimal_mapping(
+                shards={"count": 2},
+                schedule={"period_seconds": 120.0, "num_periods": 2},
+            )
+        )
+        sharded = to_sharded_experiment_spec(spec, smoke=True)
+        assert sharded.base.schedule.period_seconds == SMOKE_PERIOD_SECONDS

@@ -1,0 +1,41 @@
+"""End-to-end fleet demo: the sharded-fleet library scenario.
+
+The acceptance bar for the sharded control plane: at least ten shards,
+thousands of concurrent clients, run strict-invariant-clean with the
+global conservation and cost-partition invariants passing.  Runs
+smoke-compressed (seconds of virtual time, same schedule shape).
+"""
+
+from repro.scenarios import find_scenario, to_sharded_experiment_spec
+from repro.shard import run_sharded
+
+
+def test_sharded_fleet_demo_runs_clean_at_scale():
+    scenario = find_scenario("sharded-fleet")
+    assert scenario.shards is not None
+    assert scenario.shards.count >= 10
+    assert scenario.invariants == "strict"
+    peak_clients = sum(
+        max(counts) for counts in scenario.resolved_counts().values()
+    )
+    assert peak_clients >= 2000
+
+    spec = to_sharded_experiment_spec(scenario, smoke=True)
+    assert spec.shards >= 10
+    result = run_sharded(spec, jobs=2)
+
+    assert result.ok
+    assert result.report.violations == []
+    assert result.report.total_completions > 1000
+    assert len(result.report.per_shard) == spec.shards
+    # Cost partition: shard limits sum exactly to the scenario's global
+    # limit and every shard clears the solver floor.
+    assert sum(result.final_cost_limits) == 120_000.0
+    assert min(result.final_cost_limits) >= spec.cost_floor() - 1e-9
+    # Routing conservation end-to-end: every scheduled client landed on
+    # exactly one shard.
+    global_schedule = spec.resolved_schedule()
+    shard_schedules = [s.schedule for s in spec.shard_specs()]
+    for name, series in global_schedule.counts.items():
+        for period, count in enumerate(series):
+            assert sum(s.counts[name][period] for s in shard_schedules) == count

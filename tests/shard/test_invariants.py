@@ -1,0 +1,64 @@
+"""Tests for the cross-shard global invariants."""
+
+from repro.shard.invariants import (
+    check_completion_conservation,
+    check_cost_partition,
+    check_routing_conservation,
+)
+from repro.workloads.schedule import PeriodSchedule, constant_schedule
+
+
+def test_routing_conservation_passes_on_exact_partition():
+    global_schedule = constant_schedule(10.0, 2, {"a": 4, "b": 6})
+    shards = [
+        constant_schedule(10.0, 2, {"a": 1, "b": 4}),
+        constant_schedule(10.0, 2, {"a": 3, "b": 2}),
+    ]
+    assert check_routing_conservation(global_schedule, shards) == []
+
+
+def test_routing_conservation_flags_lost_clients():
+    global_schedule = constant_schedule(10.0, 2, {"a": 4})
+    shards = [
+        constant_schedule(10.0, 2, {"a": 1}),
+        constant_schedule(10.0, 2, {"a": 2}),
+    ]
+    violations = check_routing_conservation(global_schedule, shards)
+    assert violations
+    assert all(v.name == "shard_routing_conservation" for v in violations)
+    assert "3 clients routed" in violations[0].message
+
+
+def test_routing_conservation_flags_unknown_class():
+    global_schedule = constant_schedule(10.0, 1, {"a": 2})
+    shards = [PeriodSchedule(10.0, {"a": (2,), "ghost": (1,)})]
+    violations = check_routing_conservation(global_schedule, shards)
+    assert any("ghost" in v.message for v in violations)
+
+
+def test_cost_partition_passes_on_exact_sum():
+    assert check_cost_partition(30_000.0, [10_000.0, 12_000.0, 8_000.0]) == []
+
+
+def test_cost_partition_flags_drift():
+    violations = check_cost_partition(30_000.0, [10_000.0, 10_000.0])
+    assert violations
+    assert "sum to 20000" in violations[0].message
+
+
+def test_cost_partition_flags_non_positive_share():
+    violations = check_cost_partition(10_000.0, [10_001.0, -1.0])
+    assert any("non-positive" in v.message for v in violations)
+
+
+def test_completion_conservation_passes_when_merged_matches():
+    per_shard = [{"a": 10, "b": 2}, {"a": 5}]
+    merged = {"a": 15, "b": 2}
+    assert check_completion_conservation(per_shard, merged) == []
+
+
+def test_completion_conservation_flags_mismatch():
+    per_shard = [{"a": 10}, {"a": 5}]
+    violations = check_completion_conservation(per_shard, {"a": 14})
+    assert violations
+    assert "15" in violations[0].message and "14" in violations[0].message

@@ -1,0 +1,127 @@
+"""Tests for the shard routing policies."""
+
+import zlib
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard.router import (
+    ROUTER_NAMES,
+    CostAwareRouter,
+    HashRouter,
+    LeastLoadedRouter,
+    Router,
+    make_router,
+    partition_schedule,
+    routed_demand,
+)
+from repro.workloads.schedule import PeriodSchedule, constant_schedule
+
+
+def sample_schedule():
+    return PeriodSchedule(
+        10.0,
+        {
+            "class1": (4, 8, 2),
+            "class2": (6, 0, 10),
+            "class3": (20, 30, 40),
+        },
+    )
+
+
+@pytest.mark.parametrize("name", ROUTER_NAMES)
+def test_every_policy_conserves_counts(name):
+    schedule = sample_schedule()
+    shards = partition_schedule(schedule, 4, make_router(name))
+    assert len(shards) == 4
+    for shard in shards:
+        assert shard.period_seconds == schedule.period_seconds
+        assert shard.num_periods == schedule.num_periods
+        assert set(shard.counts) == set(schedule.counts)
+    for class_name, series in schedule.counts.items():
+        for period, count in enumerate(series):
+            routed = sum(s.counts[class_name][period] for s in shards)
+            assert routed == count
+
+
+@pytest.mark.parametrize("name", ROUTER_NAMES)
+def test_every_policy_is_deterministic(name):
+    schedule = sample_schedule()
+    first = partition_schedule(schedule, 3, make_router(name))
+    second = partition_schedule(schedule, 3, make_router(name))
+    assert [s.counts for s in first] == [s.counts for s in second]
+
+
+def test_hash_router_uses_crc32_not_builtin_hash():
+    # Builtin hash() is salted per process; the routing must instead be
+    # reproducible from first principles in any interpreter.
+    counts = HashRouter().split("class1", 2, 5, 3)
+    expected = [0, 0, 0]
+    for slot in range(5):
+        expected[zlib.crc32("class1:2:{}".format(slot).encode()) % 3] += 1
+    assert counts == expected
+
+
+def test_least_loaded_balances_counts_within_one():
+    counts = LeastLoadedRouter().split("class3", 0, 31, 4)
+    assert sum(counts) == 31
+    assert max(counts) - min(counts) <= 1
+
+
+def test_least_loaded_resets_loads_each_period():
+    router = LeastLoadedRouter()
+    router.begin_period(0)
+    first = router.split("class3", 0, 7, 2)
+    router.begin_period(1)
+    second = router.split("class3", 1, 7, 2)
+    # Same inputs after a reset give the same greedy placement; without
+    # the reset the second split would compensate for the first's skew.
+    assert first == second
+
+
+def test_cost_aware_weights_heavy_classes():
+    # One heavy class already placed on shard 0 pushes the next (light)
+    # class's clients toward shard 1 until the cost evens out.
+    router = CostAwareRouter({"heavy": 100.0, "light": 1.0})
+    router.begin_period(0)
+    heavy = router.split("heavy", 0, 1, 2)
+    light = router.split("light", 0, 10, 2)
+    assert heavy == [1, 0]
+    # All ten light clients fit on shard 1 before its load reaches 100.
+    assert light == [0, 10]
+
+
+def test_cost_aware_defaults_to_uniform_weight():
+    counts = CostAwareRouter().split("unknown", 0, 8, 4)
+    assert counts == [2, 2, 2, 2]
+
+
+def test_make_router_rejects_unknown_name():
+    with pytest.raises(ConfigurationError):
+        make_router("round-robin")
+
+
+def test_partition_schedule_rejects_bad_router():
+    class BrokenRouter(Router):
+        name = "broken"
+
+        def split(self, class_name, period, count, num_shards):
+            return [count]  # wrong arity
+
+    with pytest.raises(ConfigurationError):
+        partition_schedule(sample_schedule(), 2, BrokenRouter())
+
+
+def test_partition_single_shard_passes_everything_through():
+    schedule = sample_schedule()
+    (shard,) = partition_schedule(schedule, 1, make_router("hash"))
+    assert shard.counts == schedule.counts
+
+
+def test_routed_demand_weights_by_class():
+    schedules = [
+        constant_schedule(10.0, 2, {"a": 1, "b": 2}),
+        constant_schedule(10.0, 2, {"a": 0, "b": 1}),
+    ]
+    demands = routed_demand(schedules, {"a": 10.0, "b": 1.0})
+    assert demands == [2 * (10.0 + 2.0), 2 * 1.0]

@@ -211,3 +211,54 @@ def test_welford_is_finite_under_many_identical_values():
     assert acc.mean == pytest.approx(1e9)
     assert math.isfinite(acc.variance)
     assert acc.variance == pytest.approx(0.0, abs=1e-3)
+
+
+class TestHistogramMerge:
+    def test_merge_equals_combined_stream(self):
+        left = Histogram(0.0, 10.0, bins=20)
+        right = Histogram(0.0, 10.0, bins=20)
+        combined = Histogram(0.0, 10.0, bins=20)
+        for value in (0.5, 1.5, 2.5, 11.0, -1.0):
+            left.add(value)
+            combined.add(value)
+        for value in (3.5, 9.9, 12.0):
+            right.add(value)
+            combined.add(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.counts() == combined.counts()
+        assert left.underflow == combined.underflow
+        assert left.overflow == combined.overflow
+        assert left.min_value == combined.min_value
+        assert left.max_value == combined.max_value
+        for q in (0, 25, 50, 75, 95, 100):
+            assert left.percentile(q) == combined.percentile(q)
+
+    def test_merge_with_empty_is_identity(self):
+        hist = Histogram(0.0, 10.0, bins=4)
+        hist.add(2.0)
+        before = hist.to_dict()
+        hist.merge(Histogram(0.0, 10.0, bins=4))
+        assert hist.to_dict() == before
+
+    def test_merge_incompatible_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 10.0, bins=4).merge(Histogram(0.0, 20.0, bins=4))
+        with pytest.raises(ValueError):
+            Histogram(0.0, 10.0, bins=4).merge(Histogram(0.0, 10.0, bins=8))
+
+    def test_dict_round_trip(self):
+        hist = Histogram(0.0, 5.0, bins=10)
+        for value in (-1.0, 0.1, 2.2, 4.9, 7.0):
+            hist.add(value)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.to_dict() == hist.to_dict()
+        assert clone.percentile(50) == hist.percentile(50)
+        assert clone.min_value == hist.min_value
+        assert clone.max_value == hist.max_value
+
+    def test_empty_dict_round_trip(self):
+        hist = Histogram(0.0, 5.0, bins=3)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.count == 0
+        assert clone.percentile(95) == 0.0

@@ -307,3 +307,51 @@ def test_trace_summary_prints_controller_overhead(capsys):
     assert "Controller overhead (wall-clock per control interval):" in out
     assert "total_s" in out
     assert "mean=" in out and "max=" in out
+
+
+def test_run_sharded_smoke(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "sharded.json")
+    code = main(
+        ["run", "--shards", "2", "--router", "least-loaded",
+         "--invariants", "strict", "--jobs", "2", "--output", path] + FAST_RUN
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sharded run" in out
+    assert "2 shards" in out
+    assert "global invariants: ok" in out
+    payload = json.loads(open(path).read())
+    assert payload["shards"] == 2
+    assert payload["ok"] is True
+
+
+def test_run_shards_one_uses_unsharded_path(capsys):
+    code = main(["run", "--shards", "1", "--controller", "qs"] + FAST_RUN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sharded run" not in out
+
+
+def test_run_router_without_shards_is_an_error(capsys):
+    code = main(["run", "--router", "hash"] + FAST_RUN)
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--shards" in err
+
+
+def test_run_sharded_rejects_trace_events(capsys):
+    code = main(
+        ["run", "--shards", "2", "--trace-events", "x.jsonl"] + FAST_RUN
+    )
+    assert code == 2
+
+
+def test_run_sharded_underprovisioned_limit_exits_2(capsys):
+    # 16 shards x 3 classes x 1000-timeron floor exceeds the default
+    # 30k global budget; must fail fast with a config error, not crash.
+    code = main(["run", "--shards", "16"] + FAST_RUN)
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cost limit" in err

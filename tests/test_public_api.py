@@ -21,6 +21,8 @@ PACKAGES = [
     "repro.experiments",
     "repro.validation",
     "repro.obs",
+    "repro.scenarios",
+    "repro.shard",
 ]
 
 
