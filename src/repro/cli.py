@@ -4,6 +4,8 @@ Subcommands::
 
     python -m repro run        # run a controller on the paper workload
     python -m repro run --scenario flash-crowd   # ... or on a named scenario
+    python -m repro run --dashboard              # ... streaming a live dashboard
+    python -m repro serve      # run + live dashboard, held open until Ctrl-C
     python -m repro scenarios  # list / validate the YAML scenario library
     python -m repro calibrate  # throughput-vs-system-cost-limit sweep
     python -m repro figure     # regenerate one of the paper's figures
@@ -17,12 +19,16 @@ Every command prints the same ASCII tables the benchmark harness uses, so
 the CLI is the quickest way to poke at the system without writing code.
 ``replicate`` and ``sweep`` fan their runs over worker processes with
 ``--jobs`` (0 = one per CPU); results are identical at any worker count.
+``--dashboard`` (or ``serve``) attaches the stdlib-only live telemetry
+hub and serves it over HTTP: ``/`` (the embedded dashboard), ``/events``
+(SSE), ``/api/snapshot`` and ``/metrics``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.config import (
@@ -33,7 +39,12 @@ from repro.config import (
 )
 from repro.experiments.calibration import pick_knee_limit, sweep_system_cost_limit
 from repro.experiments.figures import figure2, figure3
-from repro.experiments.runner import CONTROLLER_NAMES, run_experiment
+from repro.experiments.runner import (
+    CONTROLLER_NAMES,
+    ExperimentSpec,
+    run_experiment,
+    run_spec,
+)
 from repro.runtime import BACKEND_NAMES
 from repro.metrics.report import (
     format_figure_series,
@@ -69,9 +80,8 @@ def _build_config(args: argparse.Namespace):
     )
 
 
-def _scenario_result(args: argparse.Namespace):
+def _scenario_result(args: argparse.Namespace, hub=None):
     """Resolve, compile and run ``--scenario``; returns the result."""
-    from repro.experiments.runner import run_spec
     from repro.scenarios import find_scenario, to_experiment_spec
 
     scenario = find_scenario(args.scenario)
@@ -101,7 +111,47 @@ def _scenario_result(args: argparse.Namespace):
     )
     if scenario.description:
         print(scenario.description.strip())
-    return run_spec(spec)
+    return run_spec(spec, hub=hub)
+
+
+def _start_live(args: argparse.Namespace):
+    """Start the telemetry hub + dashboard server when asked for.
+
+    Returns ``(hub, server)`` — both ``None`` without ``--dashboard``.
+    ``--port 0`` (the default) binds an ephemeral port; ``--port-file``
+    writes the bound port for harnesses that need to find the server.
+    """
+    if not getattr(args, "dashboard", False):
+        return None, None
+    from repro.obs.live import LiveServer, TelemetryHub
+
+    hub = TelemetryHub()
+    server = LiveServer(hub, host=args.host, port=args.port).start()
+    print("dashboard: {}".format(server.url), file=sys.stderr)
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write("{}\n".format(server.port))
+    return hub, server
+
+
+def _linger_live(args: argparse.Namespace, server) -> None:
+    """Hold the dashboard open after a finished run (``--linger``)."""
+    if server is None or args.linger == 0:
+        return
+    if args.linger < 0:
+        print("run finished; serving until Ctrl-C", file=sys.stderr)
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+    else:
+        time.sleep(args.linger)
+
+
+def _stop_live(server) -> None:
+    if server is not None:
+        server.stop()
 
 
 def _cmd_run_sharded(args: argparse.Namespace) -> int:
@@ -127,6 +177,7 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    hub = server = None
     try:
         if args.scenario:
             from repro.scenarios import find_scenario, to_sharded_experiment_spec
@@ -189,14 +240,18 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
                 spec.base.invariants,
             )
         )
-        result = run_sharded(spec, jobs=_jobs_arg(args))
+        hub, server = _start_live(args)
+        result = run_sharded(spec, jobs=_jobs_arg(args), hub=hub)
     except (ConfigurationError, ScenarioError) as exc:
+        _stop_live(server)
         print("sharded run error: {}".format(exc), file=sys.stderr)
         return 2
     except InvariantViolation as exc:
+        _stop_live(server)
         print("invariant violation: {}".format(exc), file=sys.stderr)
         return 1
     except ExperimentError as exc:
+        _stop_live(server)
         print("shard failure: {}".format(exc), file=sys.stderr)
         return 1
     print()
@@ -204,6 +259,8 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
     if args.output:
         save_sharded_report(result.report, args.output, overwrite=True)
         print("wrote {}".format(args.output))
+    _linger_live(args, server)
+    _stop_live(server)
     return 0 if result.ok else 1
 
 
@@ -252,9 +309,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        hub, server = _start_live(args)
         try:
-            result = _scenario_result(args)
+            result = _scenario_result(args, hub=hub)
         except ScenarioError as exc:
+            _stop_live(server)
             print("scenario error: {}".format(exc), file=sys.stderr)
             return 2
     else:
@@ -274,13 +333,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.seed is None:
             args.seed = 7
         config = _build_config(args)
-        result = run_experiment(
-            controller=args.controller,
-            config=config,
-            invariants=args.invariants or "off",
-            tracing=bool(args.trace_events),
-            backend=backend,
-            horizon=args.horizon,
+        hub, server = _start_live(args)
+        result = run_spec(
+            ExperimentSpec(
+                controller=args.controller,
+                config=config,
+                invariants=args.invariants or "off",
+                tracing=bool(args.trace_events),
+                backend=backend,
+                horizon=args.horizon,
+            ),
+            hub=hub,
         )
     if args.output:
         from repro.metrics.export import save_result
@@ -331,7 +394,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if harness is not None:
         print()
         print(_format_harness_summary(harness))
+    _linger_live(args, server)
+    _stop_live(server)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: a run with the dashboard on, held open afterwards."""
+    args.dashboard = True
+    if args.linger == 0:
+        args.linger = -1.0  # serve until Ctrl-C unless told otherwise
+    return _cmd_run(args)
 
 
 def _format_harness_summary(harness) -> str:
@@ -832,18 +905,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Reproduction of 'Adapting Mixed Workloads to Meet SLOs "
-                    "in Autonomic DBMSs' (ICDE 2007)",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    run_parser = sub.add_parser(
-        "run",
-        help="run a controller on the paper workload or a YAML scenario",
-    )
+def _add_run_arguments(run_parser: argparse.ArgumentParser) -> None:
+    """The full ``run`` option set (shared verbatim by ``serve``)."""
     run_parser.add_argument("--controller", choices=CONTROLLER_NAMES, default="qs")
     run_parser.add_argument(
         "--scenario", default=None, metavar="NAME|PATH",
@@ -905,7 +968,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for static-mode shards (0 = one per CPU)",
     )
+    run_parser.add_argument(
+        "--dashboard", action="store_true",
+        help="serve the live telemetry dashboard while the run executes "
+             "(stdlib HTTP + SSE: /, /events, /api/snapshot, /metrics)",
+    )
+    run_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="dashboard bind address (default 127.0.0.1)",
+    )
+    run_parser.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="dashboard port (default 0 = an ephemeral free port)",
+    )
+    run_parser.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the dashboard's bound port here once listening",
+    )
+    run_parser.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep serving the dashboard this long after the run finishes "
+             "(negative = until Ctrl-C; 'serve' defaults to that)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Adapting Mixed Workloads to Meet SLOs "
+                    "in Autonomic DBMSs' (ICDE 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run",
+        help="run a controller on the paper workload or a YAML scenario",
+    )
+    _add_run_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run an experiment with the live dashboard attached and hold "
+             "the server open afterwards (Ctrl-C to exit); accepts every "
+             "'run' option",
+    )
+    _add_run_arguments(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
 
     spans_parser = sub.add_parser(
         "spans",

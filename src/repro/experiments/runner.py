@@ -347,7 +347,11 @@ def make_controller(
     return controller
 
 
-def run_spec(spec: ExperimentSpec) -> ExperimentResult:
+def run_spec(
+    spec: ExperimentSpec,
+    hub: Optional["TelemetryHub"] = None,  # noqa: F821
+    shard: Optional[int] = None,
+) -> ExperimentResult:
     """Run one full scheduled experiment described by ``spec``.
 
     ``spec.invariants`` selects the runtime validation mode: ``"off"`` (no
@@ -360,6 +364,15 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     ``spec.tracing`` attaches a :class:`~repro.obs.QueryTracer` that
     records one balanced span per query lifecycle phase; it rides along
     (finalised) in ``result.extras["tracer"]``.
+
+    ``hub`` optionally attaches a
+    :class:`~repro.obs.live.TelemetryHub`: a
+    :class:`~repro.obs.live.RunPublisher` then streams one ``interval``
+    event per control interval (plus ``spans``/``run_end``) tagged with
+    ``shard``.  The hub is deliberately *not* a spec field — specs stay
+    picklable for the parallel runners, hubs carry live threads.
+    Publishing is observation-only: results are bit-identical with or
+    without a hub.
 
     Real-time backends are closed (worker threads stopped, database
     removed) before this returns, even on failure; the collected metrics
@@ -396,6 +409,18 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         # so a check at an interval boundary sees the interval's record
         # already written (and can embed its violations there).
         harness = attach_harness(bundle, mode=spec.invariants)
+        publisher = None
+        if hub is not None:
+            from repro.obs.live.publish import RunPublisher
+
+            # After the harness: each interval event then carries the
+            # record with any violations already embedded.
+            publisher = RunPublisher(
+                hub, bundle, built, shard=shard, tracer=tracer
+            )
+            publisher.attach()
+            if shard is None:
+                publisher.publish_start()
         built.start()
         bundle.manager.start()
         injector = None
@@ -426,6 +451,9 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     if tracer is not None:
         tracer.finalize()
         result.extras["tracer"] = tracer
+    if publisher is not None:
+        result.extras["live_publisher"] = publisher
+        publisher.publish_end(result)
     return result
 
 

@@ -1,0 +1,41 @@
+"""Live telemetry streaming: hub, publishers, and the embedded dashboard.
+
+``repro.obs.live`` turns a running experiment into a push-based stream:
+
+* :class:`~repro.obs.live.hub.TelemetryHub` — the thread-safe event bus
+  with the versioned JSON snapshot/delta protocol;
+* :class:`~repro.obs.live.publish.RunPublisher` — bridges one
+  deployment's instruments (plan listeners, collector, tracer) onto the
+  hub;
+* :class:`~repro.obs.live.server.LiveServer` — the stdlib-only HTTP
+  layer (``/api/snapshot``, ``/events`` SSE, ``/metrics``, and the
+  single-file dashboard at ``/``).
+
+The whole package imports bare — no dependency beyond the standard
+library — and attaching a hub to a run is observation-only: results are
+bit-identical with or without it.
+"""
+
+from repro.obs.live.hub import (
+    DEFAULT_MAX_QUEUE,
+    EVENT_TYPES,
+    PROTOCOL_VERSION,
+    LiveEvent,
+    Subscription,
+    TelemetryHub,
+)
+from repro.obs.live.publish import LIVE_MAX_SAMPLES, RunPublisher, run_start_data
+from repro.obs.live.server import LiveServer
+
+__all__ = [
+    "DEFAULT_MAX_QUEUE",
+    "EVENT_TYPES",
+    "LIVE_MAX_SAMPLES",
+    "PROTOCOL_VERSION",
+    "LiveEvent",
+    "LiveServer",
+    "RunPublisher",
+    "Subscription",
+    "TelemetryHub",
+    "run_start_data",
+]

@@ -1,0 +1,376 @@
+"""The embedded single-file dashboard.
+
+Plain HTML + CSS + vanilla JS, inlined as one Python string so the HTTP
+layer has no static-file handling and the wheel carries no assets.  The
+page opens an ``EventSource`` on ``/events``, seeds itself from the
+stream's initial ``snapshot`` frame, de-duplicates on ``seq``, and
+renders one pane per shard plus a client-side fleet aggregate
+(completion-weighted attainment, summed completions — the same
+aggregation semantics as :mod:`repro.shard.report`).
+
+Charts follow the house dataviz rules: categorical class colors in fixed
+slot order (never cycled past the validated set — extra classes reuse
+the last slot deliberately greyed), thin marks, sparklines without axes,
+text in text tokens rather than series colors, and both light and dark
+palettes selected per scheme rather than auto-inverted.
+"""
+
+DASHBOARD_HTML = r"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro live</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb; --surface-2: #f1f0ee; --border: #dddbd6;
+    --text-primary: #0b0b0b; --text-secondary: #52514e; --text-muted: #8a887f;
+    --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+    --series-4: #eda100; --series-5: #e87ba4;
+    --good: #008300; --bad: #e34948;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19; --surface-2: #242423; --border: #3a3936;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #8a887f;
+      --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+      --series-4: #c98500; --series-5: #d55181;
+      --good: #35a847; --bad: #e66767;
+    }
+  }
+  * { box-sizing: border-box; }
+  body.viz-root {
+    margin: 0; padding: 18px 22px; background: var(--surface-1);
+    color: var(--text-primary);
+    font: 13px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 16px; margin: 0; font-weight: 650; }
+  h2 { font-size: 12px; margin: 18px 0 8px; font-weight: 600;
+       color: var(--text-secondary); text-transform: uppercase;
+       letter-spacing: 0.06em; }
+  header { display: flex; align-items: baseline; gap: 12px; flex-wrap: wrap; }
+  #runmeta { color: var(--text-secondary); }
+  .pill { font-size: 11px; padding: 2px 9px; border-radius: 999px;
+          border: 1px solid var(--border); color: var(--text-secondary); }
+  .pill.live { border-color: var(--good); color: var(--good); }
+  .pill.done { border-color: var(--series-1); color: var(--series-1); }
+  .pill.dead { border-color: var(--bad); color: var(--bad); }
+  .tiles { display: flex; gap: 10px; flex-wrap: wrap; margin-top: 14px; }
+  .tile { background: var(--surface-2); border: 1px solid var(--border);
+          border-radius: 8px; padding: 8px 14px; min-width: 108px; }
+  .tile .v { font-size: 20px; font-weight: 650; font-variant-numeric: tabular-nums; }
+  .tile .k { font-size: 11px; color: var(--text-muted); }
+  .panes { display: grid; gap: 12px;
+           grid-template-columns: repeat(auto-fill, minmax(330px, 1fr)); }
+  .pane { background: var(--surface-2); border: 1px solid var(--border);
+          border-radius: 10px; padding: 10px 12px; }
+  .pane h3 { margin: 0 0 8px; font-size: 12px; font-weight: 650; }
+  .pane h3 small { color: var(--text-muted); font-weight: 400; }
+  table { border-collapse: collapse; width: 100%;
+          font-variant-numeric: tabular-nums; }
+  th { text-align: left; font-size: 11px; color: var(--text-muted);
+       font-weight: 500; padding: 2px 8px 2px 0; }
+  td { padding: 3px 8px 3px 0; border-top: 1px solid var(--border);
+       color: var(--text-secondary); }
+  td.num, th.num { text-align: right; }
+  .cname { color: var(--text-primary); white-space: nowrap; }
+  .swatch { display: inline-block; width: 9px; height: 9px; border-radius: 2px;
+            margin-right: 6px; vertical-align: baseline; }
+  canvas.spark { vertical-align: middle; }
+  .sharebar { display: flex; height: 10px; border-radius: 4px; overflow: hidden;
+              gap: 2px; background: var(--surface-1); margin-top: 8px; }
+  .sharebar div { height: 100%; }
+  .legend { margin-top: 5px; font-size: 11px; color: var(--text-secondary); }
+  .legend span { margin-right: 12px; white-space: nowrap; }
+  #spans td:first-child, #spans th:first-child { padding-left: 0; }
+  .muted { color: var(--text-muted); }
+  footer { margin-top: 20px; font-size: 11px; color: var(--text-muted); }
+</style>
+</head>
+<body class="viz-root">
+<header>
+  <h1>repro live</h1>
+  <span id="conn" class="pill">connecting&hellip;</span>
+  <span id="runmeta" class="muted">waiting for run metadata</span>
+</header>
+
+<div class="tiles">
+  <div class="tile"><div class="v" id="t-seq">0</div><div class="k">last seq</div></div>
+  <div class="tile"><div class="v" id="t-intervals">0</div><div class="k">interval events</div></div>
+  <div class="tile"><div class="v" id="t-completions">0</div><div class="k">completions</div></div>
+  <div class="tile"><div class="v" id="t-dropped">0</div><div class="k">events dropped</div></div>
+  <div class="tile"><div class="v" id="t-time">&ndash;</div><div class="k">sim time (s)</div></div>
+</div>
+
+<h2>Fleet &amp; shards</h2>
+<div class="panes" id="panes"></div>
+
+<h2>Cost-limit rebalances</h2>
+<div class="pane" id="rebalances"><span class="muted">none yet</span></div>
+
+<h2>Slowest recent spans</h2>
+<div class="pane"><table id="spans">
+  <thead><tr><th>query</th><th>class</th><th>phase</th>
+  <th class="num">duration (s)</th><th class="num">cost</th><th class="num">period</th></tr></thead>
+  <tbody><tr><td colspan="6" class="muted">no spans yet (run with tracing)</td></tr></tbody>
+</table></div>
+
+<footer>protocol v<span id="pv">1</span> &middot; served by the run process
+  (stdlib http.server + SSE) &middot; <a href="/api/snapshot">/api/snapshot</a>
+  &middot; <a href="/metrics">/metrics</a></footer>
+
+<script>
+"use strict";
+const SLOTS = ["--series-1", "--series-2", "--series-3", "--series-4", "--series-5"];
+const state = {
+  run: null, shards: {}, attain: {}, spans: {}, rebalances: [],
+  runEnd: {}, lastSeq: 0, intervals: 0, dropped: 0,
+};
+const css = name => getComputedStyle(document.body).getPropertyValue(name).trim();
+const classColor = (() => {
+  const order = [];
+  return name => {
+    let i = order.indexOf(name);
+    if (i < 0) { order.push(name); i = order.length - 1; }
+    return css(SLOTS[Math.min(i, SLOTS.length - 1)]);
+  };
+})();
+const fmt = (x, d = 0) => x == null ? "–" :
+  Number(x).toLocaleString("en-US", {maximumFractionDigits: d, minimumFractionDigits: d});
+
+function shardTitle(key) {
+  return key === "fleet" ? (state.run && state.run.shards > 1 ? "fleet (merged)" : "run") :
+    "shard " + key;
+}
+
+function noteInterval(key, time, data) {
+  state.shards[key] = {time: time, data: data};
+  const attain = state.attain[key] = state.attain[key] || {};
+  for (const [name, info] of Object.entries(data.classes || {})) {
+    (attain[name] = attain[name] || []).push(info.attainment);
+    if (attain[name].length > 240) attain[name].shift();
+  }
+}
+
+function handle(ev) {
+  if (ev.seq != null) {
+    if (ev.seq <= state.lastSeq) return;   // duplicate from snapshot overlap
+    state.lastSeq = ev.seq;
+  }
+  if (ev.type === "snapshot") state.run = ev.data;
+  else if (ev.type === "interval") {
+    state.intervals += 1;
+    noteInterval(ev.shard == null ? "fleet" : String(ev.shard), ev.time, ev.data);
+  }
+  else if (ev.type === "spans")
+    state.spans[ev.shard == null ? "fleet" : String(ev.shard)] = ev.data;
+  else if (ev.type === "shard_rebalance") {
+    state.rebalances.push({time: ev.time, data: ev.data});
+    if (state.rebalances.length > 16) state.rebalances.shift();
+  }
+  else if (ev.type === "run_end")
+    state.runEnd[ev.shard == null ? "fleet" : String(ev.shard)] = ev.data;
+}
+
+function seed(snap) {
+  state.run = snap.run || state.run;
+  for (const [key, entry] of Object.entries(snap.shards || {}))
+    noteInterval(key, entry.time, entry.data);
+  for (const [key, data] of Object.entries(snap.spans || {})) state.spans[key] = data;
+  state.rebalances = (snap.rebalances || []).map(r => ({time: r.time, data: r.data}));
+  for (const [key, data] of Object.entries(snap.run_end || {})) state.runEnd[key] = data;
+  state.lastSeq = snap.seq || 0;
+  document.getElementById("pv").textContent = snap.v || 1;
+}
+
+function spark(values, color, goal) {
+  const w = 110, h = 26, c = document.createElement("canvas");
+  c.width = w * devicePixelRatio; c.height = h * devicePixelRatio;
+  c.style.width = w + "px"; c.style.height = h + "px"; c.className = "spark";
+  const g = c.getContext("2d");
+  g.scale(devicePixelRatio, devicePixelRatio);
+  const y = v => h - 3 - Math.max(0, Math.min(1, v)) * (h - 6);
+  if (goal != null) {   // reference line: goal attainment = 1.0
+    g.strokeStyle = css("--border"); g.lineWidth = 1;
+    g.beginPath(); g.moveTo(0, y(goal)); g.lineTo(w, y(goal)); g.stroke();
+  }
+  if (!values.length) return c;
+  g.strokeStyle = color; g.lineWidth = 2; g.lineJoin = "round"; g.beginPath();
+  const step = values.length > 1 ? w / (values.length - 1) : 0;
+  values.forEach((v, i) => { const px = values.length > 1 ? i * step : w / 2;
+    i ? g.lineTo(px, y(v)) : g.moveTo(px, y(v)); });
+  g.stroke();
+  const last = values[values.length - 1];
+  g.fillStyle = color; g.beginPath();
+  g.arc(values.length > 1 ? w : w / 2, y(last), 2.5, 0, 7); g.fill();
+  return c;
+}
+
+function fleetAggregate() {
+  // Completion-weighted attainment + summed completions across shard
+  // panes (mirrors repro.shard.report's merge semantics, client-side).
+  const keys = Object.keys(state.shards).filter(k => k !== "fleet");
+  if (!keys.length) return null;
+  const classes = {};
+  let total = 0, time = null;
+  for (const key of keys) {
+    const entry = state.shards[key];
+    if (entry.time != null && (time == null || entry.time > time)) time = entry.time;
+    total += entry.data.total_completions || 0;
+    for (const [name, info] of Object.entries(entry.data.classes || {})) {
+      const c = classes[name] = classes[name] ||
+        {completions: 0, weighted: 0, goal_metric: info.goal_metric,
+         goal_target: info.goal_target};
+      c.completions += info.completions;
+      c.weighted += info.attainment * info.completions;
+    }
+  }
+  for (const c of Object.values(classes))
+    c.attainment = c.completions ? c.weighted / c.completions : 0;
+  return {time: time, data: {classes: classes, total_completions: total,
+                             cost_limits: null, record: null}, synthetic: true};
+}
+
+function renderPane(key, entry) {
+  const pane = document.createElement("div");
+  pane.className = "pane";
+  const data = entry.data;
+  const ended = state.runEnd[key];
+  const h3 = document.createElement("h3");
+  h3.innerHTML = shardTitle(key) +
+    " <small>t=" + fmt(entry.time, 1) + "s &middot; " +
+    fmt(data.total_completions) + " done" + (ended ? " &middot; ended" : "") +
+    "</small>";
+  pane.appendChild(h3);
+  const table = document.createElement("table");
+  table.innerHTML = "<thead><tr><th>class</th><th>attainment</th>" +
+    "<th class='num'>now</th><th class='num'>done</th><th class='num'>queue</th></tr></thead>";
+  const body = document.createElement("tbody");
+  const dispatcher = (data.record && data.record.dispatcher) || {};
+  for (const [name, info] of Object.entries(data.classes || {})) {
+    const tr = document.createElement("tr");
+    const color = classColor(name);
+    const sw = "<span class='swatch' style='background:" + color + "'></span>";
+    const series = (state.attain[key] && state.attain[key][name]) || [info.attainment];
+    const queue = dispatcher[name] ? dispatcher[name].queue_length : null;
+    const tdName = document.createElement("td");
+    tdName.className = "cname"; tdName.innerHTML = sw + name;
+    const tdSpark = document.createElement("td");
+    tdSpark.appendChild(spark(key === "fleet" && entry.synthetic ?
+      [info.attainment] : series, color, 1.0));
+    tr.appendChild(tdName); tr.appendChild(tdSpark);
+    for (const cell of [fmt(info.attainment * 100) + "%", fmt(info.completions),
+                        queue == null ? "–" : fmt(queue)]) {
+      const td = document.createElement("td"); td.className = "num";
+      td.textContent = cell; tr.appendChild(td);
+    }
+    body.appendChild(tr);
+  }
+  table.appendChild(body);
+  pane.appendChild(table);
+  if (data.cost_limits) {
+    const totalLimit = Object.values(data.cost_limits).reduce((a, b) => a + b, 0);
+    const bar = document.createElement("div");
+    bar.className = "sharebar"; bar.title = "class cost-limit shares";
+    const legend = document.createElement("div"); legend.className = "legend";
+    for (const [name, limit] of Object.entries(data.cost_limits)) {
+      const seg = document.createElement("div");
+      seg.style.background = classColor(name);
+      seg.style.width = (totalLimit ? 100 * limit / totalLimit : 0) + "%";
+      bar.appendChild(seg);
+      const item = document.createElement("span");
+      item.innerHTML = "<span class='swatch' style='background:" +
+        classColor(name) + "'></span>" + name + " " + fmt(limit);
+      legend.appendChild(item);
+    }
+    pane.appendChild(bar); pane.appendChild(legend);
+  }
+  return pane;
+}
+
+function render() {
+  document.getElementById("t-seq").textContent = fmt(state.lastSeq);
+  document.getElementById("t-intervals").textContent = fmt(state.intervals);
+  document.getElementById("t-dropped").textContent = fmt(state.dropped);
+  if (state.run) {
+    const r = state.run;
+    document.getElementById("runmeta").textContent =
+      r.controller + " on " + r.backend + " · " + r.periods + "×" +
+      fmt(r.period_seconds, 0) + "s · seed " + r.seed +
+      (r.shards > 1 ? " · " + r.shards + " shards (" + r.router + "/" +
+       r.rebalance + ")" : "");
+  }
+  const panes = document.getElementById("panes");
+  panes.textContent = "";
+  const entries = Object.entries(state.shards)
+    .sort((a, b) => (a[0] === "fleet" ? -1 : b[0] === "fleet" ? 1 :
+                     Number(a[0]) - Number(b[0])));
+  const agg = !state.shards.fleet && fleetAggregate();
+  if (agg) panes.appendChild(renderPane("fleet", agg));
+  let latest = null, total = 0;
+  for (const [key, entry] of entries) {
+    panes.appendChild(renderPane(key, entry));
+    if (entry.time != null && (latest == null || entry.time > latest)) latest = entry.time;
+    if (key !== "fleet") total += entry.data.total_completions || 0;
+  }
+  if (state.shards.fleet) total = state.shards.fleet.data.total_completions || 0;
+  if (agg) total = agg.data.total_completions;
+  document.getElementById("t-completions").textContent = fmt(total);
+  document.getElementById("t-time").textContent = fmt(latest, 1);
+
+  const reb = document.getElementById("rebalances");
+  if (state.rebalances.length) {
+    reb.innerHTML = state.rebalances.slice(-8).reverse().map(r =>
+      "<div>t=" + fmt(r.time, 1) + "s &rarr; [" +
+      (r.data.limits || []).map(v => fmt(v)).join(", ") + "] timerons" +
+      (r.data.mode ? " <span class='muted'>(" + r.data.mode + ")</span>" : "") +
+      "</div>").join("");
+  }
+  const rows = [];
+  for (const [key, data] of Object.entries(state.spans))
+    for (const s of data.slowest || [])
+      rows.push({shard: key, s: s});
+  rows.sort((a, b) => b.s.duration - a.s.duration);
+  if (rows.length) {
+    document.querySelector("#spans tbody").innerHTML = rows.slice(0, 10).map(r =>
+      "<tr><td>#" + r.s.query_id + (r.shard !== "fleet" ? " <span class='muted'>s" +
+      r.shard + "</span>" : "") + "</td><td>" + r.s["class"] + "</td><td>" +
+      r.s.phase + "</td><td class='num'>" + fmt(r.s.duration, 3) +
+      "</td><td class='num'>" + fmt(r.s.estimated_cost) +
+      "</td><td class='num'>" + (r.s.period == null ? "–" : r.s.period) +
+      "</td></tr>").join("");
+  }
+}
+
+const conn = document.getElementById("conn");
+function setConn(cls, text) { conn.className = "pill " + cls; conn.textContent = text; }
+
+const source = new EventSource("/events");
+let expected = null;
+source.addEventListener("snapshot", e => {
+  const payload = JSON.parse(e.data);
+  seed(payload.snapshot || payload.data || {});
+  setConn("live", "live");
+  render();
+});
+for (const type of ["interval", "spans", "shard_rebalance", "run_end"]) {
+  source.addEventListener(type, e => {
+    const ev = JSON.parse(e.data);
+    if (expected != null && ev.seq > expected)
+      state.dropped += ev.seq - expected;   // gap = events we never saw
+    expected = ev.seq + 1;
+    handle(ev);
+    if (Object.keys(state.runEnd).length) setConn("done", "run ended");
+    render();
+  });
+}
+source.onerror = () => {
+  if (Object.keys(state.runEnd).length) { setConn("done", "run ended"); source.close(); }
+  else setConn("dead", "disconnected");
+};
+</script>
+</body>
+</html>
+"""

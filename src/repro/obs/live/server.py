@@ -1,0 +1,202 @@
+"""The embedded HTTP layer: snapshot, SSE stream, Prometheus, dashboard.
+
+Standard library only — ``http.server.ThreadingHTTPServer`` plus
+Server-Sent Events — because the build environment cannot install a web
+framework, and an observability layer that needs one is an observability
+layer that is off.  Endpoints:
+
+``GET /``
+    The single-file embedded dashboard (:mod:`repro.obs.live.dashboard`).
+``GET /api/snapshot``
+    The hub's current versioned state as JSON (late-joiner catch-up).
+``GET /events``
+    The live event stream as Server-Sent Events.  The first frame is a
+    ``snapshot`` SSE event carrying the same payload as ``/api/snapshot``;
+    subsequent frames are the protocol events, each as ``event: <type>``
+    with the JSON event object in ``data:``.  The subscription is opened
+    *before* the snapshot is taken, so no event can fall into the gap —
+    an event published in between may appear both in the snapshot and in
+    the stream, and consumers de-duplicate on ``seq``.
+``GET /metrics``
+    The whole fleet's instrument registries in the Prometheus text
+    exposition format (per-shard samples carry a ``shard`` label).
+
+Each SSE consumer runs in its own handler thread blocking on its
+bounded hub subscription; a consumer that stops reading loses oldest
+events (its ``dropped`` counter says how many) and never stalls the run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import urlparse
+
+from repro.obs.live.dashboard import DASHBOARD_HTML
+from repro.obs.live.hub import TelemetryHub
+
+#: Seconds between SSE keep-alive comments when no event arrives (also
+#: how quickly a handler notices the server is stopping).
+SSE_HEARTBEAT_SECONDS = 1.0
+
+
+class _LiveHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the hub for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, hub: TelemetryHub) -> None:
+        super().__init__(address, handler)
+        self.hub = hub
+        self.stopping = threading.Event()
+
+
+class LiveRequestHandler(BaseHTTPRequestHandler):
+    """Routes one request against the hub (no framework, no deps)."""
+
+    server: _LiveHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the CLI owns stdout; request logging is noise
+
+    def _send_payload(self, payload: bytes, content_type: str, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib signature
+        path = urlparse(self.path).path
+        try:
+            if path in ("/", "/index.html"):
+                self._send_payload(
+                    DASHBOARD_HTML.encode("utf-8"), "text/html; charset=utf-8"
+                )
+            elif path == "/api/snapshot":
+                payload = json.dumps(self.server.hub.snapshot()).encode("utf-8")
+                self._send_payload(payload, "application/json")
+            elif path == "/metrics":
+                payload = self.server.hub.prometheus().encode("utf-8")
+                self._send_payload(
+                    payload, "text/plain; version=0.0.4; charset=utf-8"
+                )
+            elif path == "/events":
+                self._stream_events()
+            else:
+                self._send_payload(
+                    json.dumps({"error": "not found", "path": path}).encode("utf-8"),
+                    "application/json",
+                    status=404,
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up beyond the socket
+
+    def _stream_events(self) -> None:
+        hub = self.server.hub
+        subscription = hub.subscribe()
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Access-Control-Allow-Origin", "*")
+            self.end_headers()
+            # Late-joiner catch-up: subscription first, snapshot second,
+            # so the client's only risk is a duplicate seq, never a gap.
+            self._write_sse("snapshot", {"snapshot": hub.snapshot()})
+            while not self.server.stopping.is_set():
+                event = subscription.pop(timeout=SSE_HEARTBEAT_SECONDS)
+                if event is None:
+                    # Heartbeat: keeps intermediaries from timing out the
+                    # stream and surfaces a dead socket promptly.
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                self._write_sse(event.type, event.to_dict(), event_id=event.seq)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+        finally:
+            subscription.close()
+
+    def _write_sse(self, event_type: str, data: dict, event_id: Optional[int] = None) -> None:
+        frame = "event: {}\n".format(event_type)
+        if event_id is not None:
+            frame += "id: {}\n".format(event_id)
+        frame += "data: {}\n\n".format(json.dumps(data))
+        self.wfile.write(frame.encode("utf-8"))
+        self.wfile.flush()
+
+
+class LiveServer:
+    """Owns the HTTP server thread for one hub.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port`/:attr:`url`
+    after :meth:`start`.  The server thread (and every SSE handler
+    thread) is a daemon, so a process exit never hangs on a lingering
+    consumer; :meth:`stop` shuts the listener down explicitly.
+    """
+
+    def __init__(
+        self, hub: TelemetryHub, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.hub = hub
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[_LiveHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "LiveServer":
+        """Bind and serve in a background daemon thread; returns self."""
+        if self._server is not None:
+            return self
+        self._server = _LiveHTTPServer(
+            (self.host, self._requested_port), LiveRequestHandler, self.hub
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-live-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        """Whether the listener is up."""
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one when constructed with port=0)."""
+        if self._server is None:
+            raise RuntimeError("LiveServer.start() has not been called")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the dashboard."""
+        return "http://{}:{}/".format(self.host, self.port)
+
+    def stop(self) -> None:
+        """Stop accepting connections and wind down handler threads."""
+        if self._server is None:
+            return
+        self._server.stopping.set()
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None

@@ -27,7 +27,8 @@ what makes the Prometheus rendering well-formed.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import MetricsError
 
@@ -46,10 +47,33 @@ def _label_key(labels: Optional[Dict[str, str]]) -> LabelSet:
     return tuple(sorted((labels or {}).items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Inside double-quoted label values, backslash, double-quote and line
+    feed must be escaped as ``\\\\``, ``\\"`` and ``\\n`` — a hostile
+    value (say a query template containing quotes) must not break the
+    rendered line or smuggle in extra labels.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text (only backslash and line feed are special)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: LabelSet) -> str:
     if not labels:
         return ""
-    return "{" + ",".join('{}="{}"'.format(k, v) for k, v in labels) + "}"
+    return "{" + ",".join(
+        '{}="{}"'.format(k, _escape_label_value(v)) for k, v in labels
+    ) + "}"
 
 
 def _finite(value: float) -> float:
@@ -183,11 +207,44 @@ class _Family:
 
 
 class MetricsRegistry:
-    """Get-or-create instrument registry with interval sampling."""
+    """Get-or-create instrument registry with interval sampling.
 
-    def __init__(self) -> None:
+    ``max_samples`` bounds the in-memory sampling time series as a ring
+    buffer: once that many samples are held, each new :meth:`sample`
+    evicts the oldest one and bumps :attr:`samples_dropped`.  The default
+    (``None``) keeps every sample — the right behaviour for bounded sim
+    runs — while long wall-clock serve-mode runs set a bound so a
+    dashboard left up overnight cannot grow memory without limit.
+    """
+
+    def __init__(self, max_samples: Optional[int] = None) -> None:
         self._families: Dict[str, _Family] = {}
-        self._samples: List[Tuple[float, Dict[str, float]]] = []
+        self._samples: Deque[Tuple[float, Dict[str, float]]] = deque()
+        self._max_samples: Optional[int] = None
+        #: Samples evicted from the ring buffer so far (never resets).
+        self.samples_dropped = 0
+        self.max_samples = max_samples
+
+    @property
+    def max_samples(self) -> Optional[int]:
+        """The ring-buffer bound (None = unbounded)."""
+        return self._max_samples
+
+    @max_samples.setter
+    def max_samples(self, value: Optional[int]) -> None:
+        if value is not None and (
+            not isinstance(value, int) or isinstance(value, bool) or value < 1
+        ):
+            raise MetricsError(
+                "max_samples must be a positive integer or None, got {!r}".format(
+                    value
+                )
+            )
+        self._max_samples = value
+        if value is not None:
+            while len(self._samples) > value:
+                self._samples.popleft()
+                self.samples_dropped += 1
 
     # ------------------------------------------------------------------
     # Registration
@@ -321,6 +378,12 @@ class MetricsRegistry:
                 values[key + "_sum"] = instrument.sum
             else:
                 values[key] = instrument.value
+        if (
+            self._max_samples is not None
+            and len(self._samples) >= self._max_samples
+        ):
+            self._samples.popleft()
+            self.samples_dropped += 1
         self._samples.append((now, values))
         return values
 
@@ -346,40 +409,90 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
-    def to_prometheus(self) -> str:
-        """Current instrument state in the Prometheus text format."""
-        lines: List[str] = []
-        for name in self.names:
-            family = self._families[name]
-            if family.description:
-                lines.append("# HELP {} {}".format(name, family.description))
-            lines.append("# TYPE {} {}".format(name, family.kind))
+    def to_prometheus(self, extra_labels: Optional[Dict[str, str]] = None) -> str:
+        """Current instrument state in the Prometheus text format.
+
+        ``extra_labels`` are merged into every rendered sample's label set
+        (e.g. ``{"shard": "3"}`` for one member of a fleet); they must not
+        collide with an instrument's own label names.
+        """
+        return render_prometheus([(extra_labels, self)])
+
+
+def _render_member_lines(
+    lines: List[str], name: str, member: Instrument, key: LabelSet
+) -> None:
+    """Append one member's sample lines (bucket/sum/count for histograms)."""
+    if isinstance(member, HistogramInstrument):
+        for bound, count in zip(member.buckets, member.cumulative_counts()):
+            bucket_labels = key + (("le", repr(bound)),)
+            lines.append(
+                "{}_bucket{} {}".format(name, _render_labels(bucket_labels), count)
+            )
+        inf_labels = key + (("le", "+Inf"),)
+        lines.append(
+            "{}_bucket{} {}".format(name, _render_labels(inf_labels), member.count)
+        )
+        lines.append("{}_sum{} {}".format(name, _render_labels(key), member.sum))
+        lines.append("{}_count{} {}".format(name, _render_labels(key), member.count))
+    else:
+        lines.append("{}{} {}".format(name, _render_labels(key), member.value))
+
+
+def render_prometheus(
+    sources: Sequence[Tuple[Optional[Dict[str, str]], "MetricsRegistry"]],
+) -> str:
+    """Render one or more registries as a single well-formed exposition.
+
+    ``sources`` is a sequence of ``(extra_labels, registry)`` pairs; every
+    sample from a registry carries its extra labels (typically a
+    ``{"shard": "N"}`` discriminator), and each metric family appears
+    exactly once — ``# HELP``/``# TYPE`` are emitted once per family name
+    even when several registries expose it.  Registries disagreeing on a
+    family's kind raise :class:`~repro.errors.MetricsError`; an extra
+    label colliding with an instrument's own label does too.
+    """
+    names: List[str] = []
+    kinds: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    for extra, registry in sources:
+        for name in registry.names:
+            family = registry._families[name]
+            if name not in kinds:
+                names.append(name)
+                kinds[name] = family.kind
+            elif kinds[name] != family.kind:
+                raise MetricsError(
+                    "family {!r} registered as a {} in one registry and a {} "
+                    "in another; fleet rendering needs consistent kinds".format(
+                        name, kinds[name], family.kind
+                    )
+                )
+            if family.description and name not in helps:
+                helps[name] = family.description
+    lines: List[str] = []
+    for name in sorted(names):
+        if name in helps:
+            lines.append("# HELP {} {}".format(name, _escape_help(helps[name])))
+        lines.append("# TYPE {} {}".format(name, kinds[name]))
+        for extra, registry in sources:
+            family = registry._families.get(name)
+            if family is None:
+                continue
+            extra_key = _label_key(extra)
             for key in sorted(family.members):
                 member = family.members[key]
-                if isinstance(member, HistogramInstrument):
-                    for bound, count in zip(
-                        member.buckets, member.cumulative_counts()
-                    ):
-                        bucket_labels = key + (("le", repr(bound)),)
-                        lines.append(
-                            "{}_bucket{} {}".format(
-                                name, _render_labels(bucket_labels), count
+                if extra_key:
+                    own = {k for k, _ in key}
+                    clash = [k for k, _ in extra_key if k in own]
+                    if clash:
+                        raise MetricsError(
+                            "extra labels {} collide with {!r}'s own labels".format(
+                                clash, name
                             )
                         )
-                    inf_labels = key + (("le", "+Inf"),)
-                    lines.append(
-                        "{}_bucket{} {}".format(
-                            name, _render_labels(inf_labels), member.count
-                        )
-                    )
-                    lines.append(
-                        "{}_sum{} {}".format(name, _render_labels(key), member.sum)
-                    )
-                    lines.append(
-                        "{}_count{} {}".format(name, _render_labels(key), member.count)
-                    )
+                    rendered_key = tuple(sorted(key + extra_key))
                 else:
-                    lines.append(
-                        "{}{} {}".format(name, _render_labels(key), member.value)
-                    )
-        return "\n".join(lines) + ("\n" if lines else "")
+                    rendered_key = key
+                _render_member_lines(lines, name, member, rendered_key)
+    return "\n".join(lines) + ("\n" if lines else "")

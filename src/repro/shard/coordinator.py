@@ -29,7 +29,10 @@ strict mode, raises :class:`~repro.errors.InvariantViolation` on any.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.live import TelemetryHub
 
 from repro.config import default_config
 from repro.errors import ConfigurationError, ExperimentError, InvariantViolation
@@ -46,6 +49,7 @@ from repro.experiments.runner import (
     ExperimentSpec,
     build_bundle,
     make_controller,
+    run_spec,
 )
 from repro.shard.invariants import (
     check_completion_conservation,
@@ -89,10 +93,44 @@ def _spec_cost_limit(spec: ExperimentSpec) -> float:
     return config.system_cost_limit
 
 
+def _fleet_start_data(
+    spec: ShardedExperimentSpec, shard_specs: Sequence[ExperimentSpec]
+) -> dict:
+    """The fleet-level ``snapshot`` event payload (shard layout + goals)."""
+    config = (spec.base.config or default_config()).validate()
+    schedule = spec.resolved_schedule()
+    classes = spec.resolved_classes()
+    return {
+        "controller": spec.base.controller,
+        "backend": spec.base.backend,
+        "seed": config.seed,
+        "system_cost_limit": config.system_cost_limit,
+        "control_interval": config.planner.control_interval,
+        "periods": schedule.num_periods,
+        "period_seconds": schedule.period_seconds,
+        "horizon": schedule.horizon,
+        "shards": spec.shards,
+        "router": spec.router,
+        "rebalance": spec.rebalance,
+        "shard_cost_limits": [_spec_cost_limit(s) for s in shard_specs],
+        "classes": [
+            {
+                "name": c.name,
+                "kind": c.kind,
+                "goal_metric": c.goal.metric,
+                "goal_target": c.goal.target,
+                "importance": c.importance,
+            }
+            for c in classes
+        ],
+    }
+
+
 def run_sharded(
     spec: ShardedExperimentSpec,
     jobs: Optional[int] = 1,
     progress: Optional[ProgressCallback] = None,
+    hub: Optional["TelemetryHub"] = None,
 ) -> ShardedRunResult:
     """Run every shard, evaluate the global invariants, merge the report.
 
@@ -103,9 +141,27 @@ def run_sharded(
     invariant mode a global violation raises
     :class:`~repro.errors.InvariantViolation` after the report (with the
     violations embedded) has been assembled.
+
+    ``hub`` streams the fleet live (``repro run --shards N --dashboard``):
+    a fleet-level ``snapshot`` up front, per-shard ``interval``/``run_end``
+    events, every cost-limit split as a ``shard_rebalance`` event (the
+    static split once at t=0; interval mode's re-split each slice), and a
+    final fleet-level ``run_end`` carrying the merged report.  A hub
+    requires ``jobs=1``: live events come from in-process plan listeners,
+    which worker processes cannot deliver.
     """
     spec.validate()
     shard_specs = spec.shard_specs()
+    if hub is not None and resolve_jobs(jobs) != 1:
+        raise ConfigurationError(
+            "a live telemetry hub requires jobs=1 (got jobs={!r}): events "
+            "are published by in-process plan listeners, which worker "
+            "processes cannot deliver".format(jobs)
+        )
+    if hub is not None:
+        hub.publish(
+            "snapshot", _fleet_start_data(spec, shard_specs), time=0.0
+        )
     if spec.rebalance == "interval":
         if resolve_jobs(jobs) != 1:
             raise ConfigurationError(
@@ -113,7 +169,26 @@ def run_sharded(
                 "requires jobs=1 (got jobs={!r}); use rebalance='static' "
                 "for parallel fan-out".format(jobs)
             )
-        summaries, final_limits = _run_lockstep(spec, shard_specs)
+        summaries, final_limits = _run_lockstep(spec, shard_specs, hub=hub)
+    elif hub is not None:
+        # Serial in-process fan-out so each shard's plan listeners can
+        # publish; identical results to the run_requests path (jobs=1
+        # there is the same serial order, just without the hub).
+        final_limits = [_spec_cost_limit(s) for s in shard_specs]
+        hub.publish(
+            "shard_rebalance",
+            {"mode": "static", "limits": list(final_limits), "demands": None},
+            time=0.0,
+        )
+        summaries = []
+        for index, shard_spec in enumerate(shard_specs):
+            try:
+                result = run_spec(shard_spec, hub=hub, shard=index)
+            except Exception as exc:
+                raise ExperimentError(
+                    "shard {} failed:\n{}".format(_shard_label(index), exc)
+                ) from exc
+            summaries.append(summarize_result(result, label=_shard_label(index)))
     else:
         requests = [
             RunRequest(
@@ -153,6 +228,18 @@ def run_sharded(
         violations=violations,
         final_cost_limits=list(final_limits),
     )
+    if hub is not None:
+        from repro.shard.report import sharded_report_to_dict
+
+        hub.publish(
+            "run_end",
+            {
+                "report": sharded_report_to_dict(report),
+                "ok": result.ok,
+                "final_cost_limits": list(final_limits),
+            },
+            time=spec.resolved_schedule().horizon,
+        )
     if violations and spec.base.invariants == "strict":
         raise InvariantViolation(
             "global shard invariants violated:\n"
@@ -187,7 +274,9 @@ def _global_violations(
 
 
 def _run_lockstep(
-    spec: ShardedExperimentSpec, shard_specs: Sequence[ExperimentSpec]
+    spec: ShardedExperimentSpec,
+    shard_specs: Sequence[ExperimentSpec],
+    hub: Optional["TelemetryHub"] = None,
 ) -> "tuple[List[RunSummary], List[float]]":
     """Advance every shard in control-interval slices, re-splitting limits.
 
@@ -224,8 +313,9 @@ def _run_lockstep(
 
     bundles = []
     controllers = []
+    publishers = []
     try:
-        for shard_spec in shard_specs:
+        for index, shard_spec in enumerate(shard_specs):
             bundle = build_bundle(
                 config=shard_spec.config,
                 schedule=shard_spec.schedule,
@@ -240,6 +330,12 @@ def _run_lockstep(
             )
             controller.planner.add_plan_listener(bundle.collector.on_plan)
             attach_harness(bundle, mode=shard_spec.invariants)
+            if hub is not None:
+                from repro.obs.live.publish import RunPublisher
+
+                publisher = RunPublisher(hub, bundle, controller, shard=index)
+                publisher.attach()
+                publishers.append(publisher)
             controller.start()
             bundle.manager.start()
             bundles.append(bundle)
@@ -264,6 +360,16 @@ def _run_lockstep(
             limits = split_cost_limit(total_limit, demands, floor)
             for controller, limit in zip(controllers, limits):
                 controller.solver.set_system_cost_limit(limit)
+            if hub is not None:
+                hub.publish(
+                    "shard_rebalance",
+                    {
+                        "mode": "interval",
+                        "demands": list(demands),
+                        "limits": list(limits),
+                    },
+                    time=now,
+                )
     finally:
         for bundle in bundles:
             bundle.close()
@@ -282,5 +388,7 @@ def _run_lockstep(
         telemetry = getattr(controller, "telemetry", None)
         if telemetry is not None:
             result.extras["telemetry"] = telemetry.store
+        if index < len(publishers):
+            publishers[index].publish_end(result)
         summaries.append(summarize_result(result, label=_shard_label(index)))
     return summaries, list(limits)

@@ -246,3 +246,89 @@ class TestLiveWiring:
         text = registry.to_prometheus()
         assert "# TYPE dispatcher_released_total counter" in text
         assert 'class="class1"' in text
+
+
+class TestLabelEscaping:
+    """Prometheus exposition escaping (satellite: hostile label values)."""
+
+    def test_hostile_label_value_is_escaped(self, registry):
+        hostile = 'he said "hi"\nback\\slash'
+        registry.counter(
+            "queries_total", labels={"template": hostile},
+            description="Queries",
+        ).inc()
+        text = registry.to_prometheus()
+        line = next(l for l in text.splitlines() if l.startswith("queries_total"))
+        assert line == (
+            'queries_total{template="he said \\"hi\\"\\nback\\\\slash"} 1.0'
+        )
+        # The rendered line must stay a single physical line.
+        assert "\n" not in line
+
+    def test_escaping_keeps_exposition_parseable(self, registry):
+        registry.counter(
+            "a_total", labels={"v": 'x"y'}, description="A"
+        ).inc()
+        registry.counter(
+            "a_total", labels={"v": "plain"}, description="A"
+        ).inc(2)
+        lines = registry.to_prometheus().splitlines()
+        # One HELP, one TYPE, two member lines — nothing smuggled in.
+        assert sum(1 for l in lines if l.startswith("#")) == 2
+        assert sum(1 for l in lines if l.startswith("a_total")) == 2
+
+    def test_help_text_newlines_escaped(self, registry):
+        registry.counter("b_total", description="line1\nline2").inc()
+        text = registry.to_prometheus()
+        assert "# HELP b_total line1\\nline2" in text
+
+    def test_extra_labels_escaped_too(self, registry):
+        registry.counter("c_total", description="C").inc()
+        text = registry.to_prometheus(extra_labels={"shard": '0"evil'})
+        assert 'c_total{shard="0\\"evil"} 1.0' in text
+
+
+class TestSampleBounding:
+    """Ring-buffer sampling memory bound (satellite: serve-mode runs)."""
+
+    def test_unbounded_by_default(self, registry):
+        registry.counter("n_total")
+        for now in range(1000):
+            registry.sample(float(now))
+        assert len(registry.samples) == 1000
+        assert registry.samples_dropped == 0
+        assert registry.max_samples is None
+
+    def test_bounded_registry_drops_oldest(self):
+        registry = MetricsRegistry(max_samples=10)
+        registry.counter("n_total")
+        for now in range(25):
+            registry.sample(float(now))
+        assert len(registry.samples) == 10
+        assert registry.samples_dropped == 15
+        # Newest samples survive.
+        assert registry.samples[0][0] == 15.0
+        assert registry.samples[-1][0] == 24.0
+
+    def test_series_reads_surviving_window(self):
+        registry = MetricsRegistry(max_samples=5)
+        counter = registry.counter("n_total")
+        for now in range(8):
+            counter.inc()
+            registry.sample(float(now))
+        series = registry.series("n_total")
+        assert [point[0] for point in series] == [3.0, 4.0, 5.0, 6.0, 7.0]
+
+    def test_shrinking_bound_trims_existing(self, registry):
+        registry.counter("n_total")
+        for now in range(20):
+            registry.sample(float(now))
+        registry.max_samples = 4
+        assert len(registry.samples) == 4
+        assert registry.samples_dropped == 16
+        assert registry.samples[0][0] == 16.0
+
+    def test_invalid_bound_rejected(self, registry):
+        for bad in (0, -3, 2.5, True, "10"):
+            with pytest.raises(MetricsError):
+                registry.max_samples = bad
