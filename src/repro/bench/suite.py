@@ -274,6 +274,32 @@ def _bench_replication(scale: BenchScale) -> Dict[str, float]:
     }
 
 
+def _bench_model_ablation(scale: BenchScale) -> Dict[str, float]:
+    """Macro benchmark over the model seam: the single-scenario ablation.
+
+    Replays ``paper-figure3`` under the paper-analytic, learned (trained
+    on the paper run's own trace) and oracle models, and reports each
+    model's mean SLO attainment and one-step prediction MAE plus the
+    total wall time — so a perf trajectory also tracks whether the
+    learned model keeps its edge.
+    """
+    from repro.experiments.model_ablation import run_model_ablation
+
+    started = time.perf_counter()
+    report = run_model_ablation(scenarios=("paper-figure3",), smoke=scale.smoke)
+    elapsed = time.perf_counter() - started
+    entry = report["scenarios"]["paper-figure3"]
+    metrics: Dict[str, float] = {"wall_s": elapsed}
+    for model_spec, summary in entry.items():
+        attainment = summary.get("attainment_mean")
+        mae = summary.get("prediction_mae_mean")
+        if attainment is not None:
+            metrics["{}_attainment".format(model_spec)] = attainment
+        if mae is not None:
+            metrics["{}_mae".format(model_spec)] = mae
+    return metrics
+
+
 #: Every benchmark in suite order.
 BENCH_CASES = (
     BenchCase(
@@ -305,6 +331,12 @@ BENCH_CASES = (
         "macro",
         "full qs replication run: simulated queries per wall-second",
         _bench_replication,
+    ),
+    BenchCase(
+        "model_ablation",
+        "macro",
+        "paper vs learned vs oracle models on paper-figure3: attainment + MAE",
+        _bench_model_ablation,
     ),
 )
 

@@ -76,7 +76,10 @@ def _build_config(args: argparse.Namespace):
             snapshot_interval=min(10.0, max(0.05, args.control_interval / 2.0)),
             response_time_window=max(args.control_interval / 2.0, 10.0),
         ),
-        planner=PlannerConfig(control_interval=args.control_interval),
+        planner=PlannerConfig(
+            control_interval=args.control_interval,
+            model=getattr(args, "model", None) or "paper",
+        ),
     )
 
 
@@ -96,6 +99,12 @@ def _scenario_result(args: argparse.Namespace, hub=None):
         overrides["backend"] = args.backend
     if args.horizon is not None:
         overrides["horizon"] = args.horizon
+    if getattr(args, "model", None):
+        from repro.experiments.sensitivity import set_config_field
+
+        overrides["config"] = set_config_field(
+            spec.config, "planner.model", args.model
+        )
     spec = spec.with_overrides(**overrides)
     print(
         "scenario {} (controller={}, backend={}, {} periods x {:g}s, "
@@ -197,6 +206,12 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
                 overrides["backend"] = args.backend
             if args.horizon is not None:
                 overrides["horizon"] = args.horizon
+            if getattr(args, "model", None):
+                from repro.experiments.sensitivity import set_config_field
+
+                overrides["config"] = set_config_field(
+                    spec.base.config, "planner.model", args.model
+                )
             if overrides:
                 spec = spec.with_overrides(
                     base=spec.base.with_overrides(**overrides)
@@ -264,9 +279,32 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _check_model_arg(args: argparse.Namespace) -> Optional[str]:
+    """Early validation of ``--model``; returns an error string or None."""
+    spec = getattr(args, "model", None)
+    if not spec:
+        return None
+    import os
+
+    from repro.core.modeling import parse_model_spec
+    from repro.errors import ConfigurationError
+
+    try:
+        _, argument = parse_model_spec(spec)
+    except ConfigurationError as exc:
+        return str(exc)
+    if argument is not None and not os.path.exists(argument):
+        return "trained model file {!r} not found".format(argument)
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.errors import ScenarioError
 
+    model_error = _check_model_arg(args)
+    if model_error:
+        print("model error: {}".format(model_error), file=sys.stderr)
+        return 2
     if args.smoke and not args.scenario:
         print("--smoke only applies to --scenario runs", file=sys.stderr)
         return 2
@@ -896,6 +934,86 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    """``repro train``: fit a learned model from exported telemetry."""
+    from repro.core.modeling import (
+        LearnedPerformanceModel,
+        PaperAnalyticModel,
+        evaluate_on_records,
+        fit_from_records,
+        load_telemetry_records,
+        save_model,
+    )
+    from repro.errors import ConfigurationError, ExportError
+
+    try:
+        records = load_telemetry_records(args.telemetry)
+        model = LearnedPerformanceModel(
+            prior_slope=args.prior_slope,
+            ridge=args.ridge,
+            forgetting=args.forgetting,
+        )
+        fit_from_records(records, model=model)
+        save_model(model, args.output, overwrite=True)
+    except (ConfigurationError, ExportError) as exc:
+        print("train error: {}".format(exc), file=sys.stderr)
+        return 2
+    print(
+        "trained on {} telemetry records ({} observations) -> {}".format(
+            len(records), model.observations, args.output
+        )
+    )
+    if not args.no_eval:
+        # Prequential one-step MAE on the same trace, trained vs analytic
+        # (round-trip the trained weights so the scorer's online updates
+        # cannot touch the saved model).
+        trained = LearnedPerformanceModel.from_dict(model.to_dict())
+        for label, scorer in (
+            ("learned", trained),
+            ("paper", PaperAnalyticModel()),
+        ):
+            errors = evaluate_on_records(records, scorer)
+            print("prequential MAE ({}):".format(label))
+            for name in sorted(errors):
+                series = errors[name]
+                mae = sum(e for _, e in series) / len(series) if series else 0.0
+                print("  {:<12} {:.5f} ({} intervals)".format(name, mae, len(series)))
+    return 0
+
+
+def _cmd_ablate_models(args: argparse.Namespace) -> int:
+    """``repro ablate-models``: scenario replay across model specs."""
+    import json
+
+    from repro.errors import ExperimentError, InvariantViolation, ScenarioError
+    from repro.experiments.model_ablation import (
+        format_ablation_table,
+        run_model_ablation,
+    )
+
+    try:
+        report = run_model_ablation(
+            scenarios=args.scenarios,
+            models=args.models,
+            smoke=not args.full,
+            seed=args.seed,
+            invariants=args.invariants,
+        )
+    except (ScenarioError, ExperimentError) as exc:
+        print("ablation error: {}".format(exc), file=sys.stderr)
+        return 2
+    except InvariantViolation as exc:
+        print("invariant violation: {}".format(exc), file=sys.stderr)
+        return 1
+    print(format_ablation_table(report))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote {}".format(args.output))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.reportgen import quick_report_config, write_report
 
@@ -943,6 +1061,13 @@ def _add_run_arguments(run_parser: argparse.ArgumentParser) -> None:
         "--invariants", choices=("off", "warn", "strict"), default=None,
         help="runtime invariant checking at every control interval "
              "(default off, or the scenario's own mode)",
+    )
+    run_parser.add_argument(
+        "--model", default=None, metavar="SPEC",
+        help="performance model for the utility solver: 'paper' (the "
+             "analytic Section 3.2 pair, default), 'learned' (online RLS "
+             "residual model), 'learned:PATH' (weights from 'repro "
+             "train'), or 'oracle' (last-value baseline)",
     )
     run_parser.add_argument(
         "--trace-events", default=None, metavar="PATH",
@@ -1213,6 +1338,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-trial progress lines on stderr",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    train_parser = sub.add_parser(
+        "train",
+        help="fit a learned performance model from exported telemetry "
+             "JSONL (see 'repro trace'); load it with run --model learned:PATH",
+    )
+    train_parser.add_argument(
+        "--telemetry", required=True, metavar="PATH",
+        help="telemetry JSONL file, or a directory of .jsonl exports",
+    )
+    train_parser.add_argument(
+        "--output", required=True, metavar="PATH",
+        help="where to write the trained model JSON",
+    )
+    train_parser.add_argument(
+        "--prior-slope", type=float, default=-4.2e-6,
+        help="OLTP slope prior of the analytic base model (default %(default)s)",
+    )
+    train_parser.add_argument(
+        "--ridge", type=float, default=4.0,
+        help="ridge regularisation of the RLS correction (default %(default)s)",
+    )
+    train_parser.add_argument(
+        "--forgetting", type=float, default=0.995,
+        help="RLS forgetting factor in (0, 1] (default %(default)s)",
+    )
+    train_parser.add_argument(
+        "--no-eval", action="store_true",
+        help="skip the prequential MAE comparison against the paper model",
+    )
+    train_parser.set_defaults(func=_cmd_train)
+
+    ablate_parser = sub.add_parser(
+        "ablate-models",
+        help="replay library scenarios once per performance model and "
+             "compare SLO attainment and prediction error",
+    )
+    ablate_parser.add_argument(
+        "--scenarios", nargs="+", metavar="NAME",
+        default=["paper-figure3", "diurnal", "flash-crowd"],
+        help="scenario names to replay (default: %(default)s)",
+    )
+    ablate_parser.add_argument(
+        "--models", nargs="+", metavar="SPEC",
+        default=["paper", "learned", "oracle"],
+        help="model specs to compare (default: %(default)s); 'learned' is "
+             "trained on each scenario's own paper-model trace first",
+    )
+    ablate_parser.add_argument(
+        "--full", action="store_true",
+        help="full-length scenario runs (default: smoke-compressed)",
+    )
+    ablate_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override each scenario's own seed",
+    )
+    ablate_parser.add_argument(
+        "--invariants", choices=("off", "warn", "strict"), default="warn",
+        help="invariant mode for the replays (default warn: violations "
+             "are counted in the table instead of aborting)",
+    )
+    ablate_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the full comparison report as JSON",
+    )
+    ablate_parser.set_defaults(func=_cmd_ablate_models)
 
     report_parser = sub.add_parser(
         "report", help="run the figure 4/5/6/7 comparison, write a Markdown report"

@@ -189,6 +189,11 @@ class PlannerConfig:
     #: beyond the paper (which uses the offline constant).  Online pairs are
     #: lag-corrupted, so the estimate is clamped near the prior.
     online_regression: bool = False
+    #: Performance-model spec for the utility solver: "paper" (the
+    #: Section 3.2 analytic pair, the default), "learned" (online RLS
+    #: residual model), "learned:<path>" (weights trained by
+    #: ``repro train``) or "oracle" (last-value persistence baseline).
+    model: str = "paper"
 
     def validate(self) -> None:
         if self.control_interval <= 0:
@@ -211,6 +216,11 @@ class PlannerConfig:
             raise ConfigurationError("oltp_target_margin must be in (0, 1]")
         if not 0 < self.regression_forgetting <= 1:
             raise ConfigurationError("regression_forgetting must be in (0, 1]")
+        # Lazy import: repro.core.modeling imports repro.errors only, but
+        # going through repro.config at module load would be a cycle.
+        from repro.core.modeling.registry import parse_model_spec
+
+        parse_model_spec(self.model)
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,15 @@ from repro.core.detection import (
 from repro.core.direct import DirectScheduler, EngineGate
 from repro.core.heuristic import DeficitAllocator
 from repro.core.dispatcher import Dispatcher
-from repro.core.models import OLAPVelocityModel, OLTPResponseTimeModel
+from repro.core.modeling import (
+    LearnedPerformanceModel,
+    OLAPVelocityModel,
+    OLTPResponseTimeModel,
+    OracleLastValueModel,
+    PaperAnalyticModel,
+    PerformanceModel,
+    make_model,
+)
 from repro.core.monitor import ClassMeasurement, Monitor
 from repro.core.mpl import MPLController
 from repro.core.plan import SchedulingPlan
@@ -58,6 +66,11 @@ __all__ = [
     "PerformanceSolver",
     "OLAPVelocityModel",
     "OLTPResponseTimeModel",
+    "PaperAnalyticModel",
+    "LearnedPerformanceModel",
+    "OracleLastValueModel",
+    "PerformanceModel",
+    "make_model",
     "UtilityFunction",
     "PiecewiseLinearUtility",
     "SigmoidUtility",

@@ -28,7 +28,12 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from repro.config import PlannerConfig, SimulationConfig
-from repro.core.models import OLTPResponseTimeModel
+from repro.core.modeling import (
+    ClassMixState,
+    IntervalObservation,
+    MixSnapshot,
+    make_model,
+)
 from repro.core.plan import SchedulingPlan
 from repro.core.service_class import ServiceClass
 from repro.core.solver import ClassStatus, PerformanceSolver
@@ -93,6 +98,10 @@ class EngineGate:
     def in_flight_cost(self, class_name: str) -> float:
         """Estimated cost of the class's admitted, unfinished statements."""
         return self._state(class_name).in_flight_cost
+
+    def in_flight_count(self, class_name: str) -> int:
+        """Admitted, unfinished statements of the class."""
+        return self._state(class_name).in_flight_count
 
     def released_count(self, class_name: str) -> int:
         """Total statements of the class admitted so far."""
@@ -207,11 +216,7 @@ class DirectScheduler:
                 surplus_slope=planner.surplus_slope,
                 importance_base=planner.importance_base,
             ),
-            oltp_model=OLTPResponseTimeModel(
-                prior_slope=planner.oltp_slope_prior,
-                prior_weight=planner.oltp_slope_weight,
-                forgetting=planner.regression_forgetting,
-            ),
+            model=make_model(planner.model, planner),
             system_cost_limit=config.system_cost_limit,
             grid_timerons=planner.grid_timerons,
             min_class_limit=planner.min_class_limit,
@@ -276,19 +281,43 @@ class DirectScheduler:
     # ------------------------------------------------------------------
     def run_interval(self) -> SchedulingPlan:
         """One measurement + re-plan round (public for tests)."""
+        now = self.sim.now
+        values = {c.name: self.measure(c.name) for c in self.classes}
+        mix = self._mix_snapshot(values, now)
+        model = getattr(self.solver, "model", None)
+        if model is not None:
+            model.observe(IntervalObservation(time=now, mix=mix))
         statuses = [
             ClassStatus(
                 service_class=service_class,
                 current_limit=self.gate.plan.limit(service_class.name),
-                current_value=self.measure(service_class.name),
+                current_value=values[service_class.name],
             )
             for service_class in self.classes
         ]
-        plan = self.solver.solve(statuses, now=self.sim.now)
+        plan = self.solver.solve(statuses, now=now, mix=mix)
         self.gate.install_plan(plan)
         self.plans.append(plan)
         self.intervals_run += 1
         return plan
+
+    def _mix_snapshot(
+        self, values: Dict[str, Optional[float]], now: float
+    ) -> MixSnapshot:
+        """The concurrent-mix view of the gate, for mix-aware models."""
+        states = tuple(
+            ClassMixState(
+                name=c.name,
+                kind=c.kind,
+                limit=self.gate.plan.limit(c.name),
+                value=values[c.name],
+                queue_length=self.gate.queue_length(c.name),
+                in_flight_count=self.gate.in_flight_count(c.name),
+                in_flight_cost=self.gate.in_flight_cost(c.name),
+            )
+            for c in self.classes
+        )
+        return MixSnapshot(time=now, classes=states)
 
     def _tick(self) -> None:
         self.run_interval()

@@ -81,8 +81,14 @@ class DeficitAllocator:
         achievement = status.service_class.goal.achievement(status.current_value)
         return max(_FLOOR_DEFICIT, 1.0 - achievement)
 
-    def solve(self, statuses: Sequence[ClassStatus], now: float = 0.0) -> SchedulingPlan:
-        """Allocate proportionally to importance x deficit."""
+    def solve(
+        self, statuses: Sequence[ClassStatus], now: float = 0.0, mix=None
+    ) -> SchedulingPlan:
+        """Allocate proportionally to importance x deficit.
+
+        ``mix`` is accepted (and ignored) so the planner can hand every
+        allocator the same mix snapshot that model-driven solvers use.
+        """
         if not statuses:
             raise SchedulingError("allocator needs at least one class status")
         self._solve_calls += 1

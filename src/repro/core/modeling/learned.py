@@ -1,0 +1,408 @@
+"""Learned performance models (stdlib-only, ROADMAP item 4).
+
+The paper's analytic predictors are single-knob extrapolations: each
+class's next value is a function of *its own* limit change only.  Under
+workload shift that assumption is the first thing to break — an OLAP
+class's velocity depends on how loaded the *other* classes are, and the
+OLTP response time depends on total OLAP pressure, not just its own
+virtual limit.
+
+:class:`LearnedPerformanceModel` keeps the analytic model as a physically
+sensible base prediction and learns a **per-class residual correction**
+with recursive least squares (online ridge regression) featurized on the
+full concurrent mix: the class's own limit move, queue depth and
+in-flight count, plus the other classes' limits and queue pressure.  With
+zero observations the correction is exactly zero — the learned model
+*starts as* the paper model and departs only where data supports it,
+which keeps cold-start behaviour safe.
+
+:class:`OracleLastValueModel` is the persistence baseline for the
+ablation bench: "tomorrow equals today", blind to the control knob.
+Everything here is pure Python floats — deterministic, picklable, no
+numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.modeling.analytic import (
+    OLAPVelocityModel,
+    OLTPResponseTimeModel,
+)
+from repro.core.modeling.protocol import (
+    ClassMixState,
+    IntervalObservation,
+    MixSnapshot,
+)
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.core.solver import ClassStatus
+
+#: Feature-vector length (see :func:`_features`).
+FEATURE_DIM = 8
+
+#: Normalisation scales keeping every feature O(1): timeron budgets run in
+#: the tens of thousands, queue depths in the tens.
+_LIMIT_SCALE = 10_000.0
+_QUEUE_SCALE = 32.0
+
+#: A residual correction is clamped to this multiple of the base
+#: prediction's magnitude (with an absolute floor, so a near-zero base can
+#: still be corrected).  The learned term refines the analytic model; it
+#: must never be able to swamp it on one bad update.
+_MAX_CORRECTION_RATIO = 0.75
+_MIN_CORRECTION_SCALE = 0.25
+
+
+def _features(
+    value: float,
+    current_limit: float,
+    proposed_limit: float,
+    own: Optional[ClassMixState],
+    mix: Optional[MixSnapshot],
+    class_name: str,
+) -> List[float]:
+    """The fixed-length mix-conditioned feature vector.
+
+    ``own``/``mix`` may be None (predictions outside a control loop);
+    mix-dependent features then fall back to zero and the model degrades
+    gracefully toward its own-knob terms.
+    """
+    others_limit = 0.0
+    others_queue = 0.0
+    if mix is not None:
+        for state in mix.classes:
+            if state.name == class_name:
+                continue
+            others_limit += state.limit
+            others_queue += state.queue_length
+    queue_length = float(own.queue_length) if own is not None else 0.0
+    in_flight = float(own.in_flight_count) if own is not None else 0.0
+    return [
+        1.0,
+        (proposed_limit - current_limit) / _LIMIT_SCALE,
+        value,
+        proposed_limit / _LIMIT_SCALE,
+        queue_length / _QUEUE_SCALE,
+        in_flight / _QUEUE_SCALE,
+        others_limit / _LIMIT_SCALE,
+        others_queue / _QUEUE_SCALE,
+    ]
+
+
+class _ClassPredictor:
+    """Recursive-least-squares residual learner for one class."""
+
+    __slots__ = ("kind", "w", "p", "observations")
+
+    def __init__(self, kind: str, ridge: float) -> None:
+        self.kind = kind
+        self.w = [0.0] * FEATURE_DIM
+        # Inverse regularised covariance: P0 = I / ridge.
+        self.p = [
+            [1.0 / ridge if i == j else 0.0 for j in range(FEATURE_DIM)]
+            for i in range(FEATURE_DIM)
+        ]
+        self.observations = 0
+
+    def correction(self, x: List[float]) -> float:
+        """The learned residual for a feature vector (0 until trained)."""
+        total = 0.0
+        for wi, xi in zip(self.w, x):
+            total += wi * xi
+        return total
+
+    def update(self, x: List[float], residual: float, forgetting: float) -> None:
+        """One RLS fold-in of (features, realised residual)."""
+        if not math.isfinite(residual):
+            return
+        # k = P x / (lambda + x' P x);  w += k * (y - w'x);  P = (P - k x'P)/lambda
+        px = [sum(row[j] * x[j] for j in range(FEATURE_DIM)) for row in self.p]
+        denom = forgetting + sum(px[i] * x[i] for i in range(FEATURE_DIM))
+        if denom <= 0 or not math.isfinite(denom):
+            return
+        gain = [px[i] / denom for i in range(FEATURE_DIM)]
+        error = residual - self.correction(x)
+        for i in range(FEATURE_DIM):
+            self.w[i] += gain[i] * error
+        xp = [sum(self.p[i][j] * x[i] for i in range(FEATURE_DIM)) for j in range(FEATURE_DIM)]
+        for i in range(FEATURE_DIM):
+            for j in range(FEATURE_DIM):
+                self.p[i][j] = (self.p[i][j] - gain[i] * xp[j]) / forgetting
+        self.observations += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready state (weights, covariance, counters)."""
+        return {
+            "kind": self.kind,
+            "weights": list(self.w),
+            "covariance": [list(row) for row in self.p],
+            "observations": self.observations,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object], ridge: float) -> "_ClassPredictor":
+        predictor = _ClassPredictor(str(payload["kind"]), ridge)
+        weights = payload.get("weights")
+        if isinstance(weights, list) and len(weights) == FEATURE_DIM:
+            predictor.w = [float(v) for v in weights]
+        covariance = payload.get("covariance")
+        if isinstance(covariance, list) and len(covariance) == FEATURE_DIM:
+            predictor.p = [[float(v) for v in row] for row in covariance]
+        predictor.observations = int(payload.get("observations", 0))
+        return predictor
+
+
+class LearnedPerformanceModel:
+    """Per-class online ridge/RLS residual model over the analytic base.
+
+    Satisfies the :class:`~repro.core.modeling.protocol.PerformanceModel`
+    protocol.  Train online (every :meth:`observe` is one prequential
+    update), offline from exported telemetry
+    (:func:`repro.core.modeling.training.fit_from_records`), or load a
+    previously trained state with :meth:`from_dict` / ``repro run --model
+    learned:model.json``.
+    """
+
+    name = "learned"
+
+    def __init__(
+        self,
+        prior_slope: float = -4.2e-6,
+        ridge: float = 4.0,
+        forgetting: float = 0.995,
+    ) -> None:
+        if ridge <= 0:
+            raise ConfigurationError("ridge must be positive")
+        if not 0 < forgetting <= 1:
+            raise ConfigurationError("forgetting must be in (0, 1]")
+        self.ridge = ridge
+        self.forgetting = forgetting
+        #: Fixed analytic base for residual learning — deliberately *not*
+        #: updated online, so the learned weights always correct the same
+        #: reference predictions they were trained against.
+        self._base_oltp = OLTPResponseTimeModel(prior_slope=prior_slope)
+        self._classes: Dict[str, _ClassPredictor] = {}
+        self._pending: Optional[MixSnapshot] = None
+        self._corrupted = False
+
+    # ------------------------------------------------------------------
+    # Base (analytic) prediction and clamping
+    # ------------------------------------------------------------------
+    def _base_predict(
+        self, kind: str, value: float, current_limit: float, new_limit: float
+    ) -> float:
+        if kind == "olap":
+            return OLAPVelocityModel.predict(value, current_limit, new_limit)
+        return self._base_oltp.predict(value, current_limit, new_limit)
+
+    @staticmethod
+    def _clamp(kind: str, predicted: float) -> float:
+        if kind == "olap":
+            return max(0.0, min(1.0, predicted))
+        return max(predicted, 1e-3)
+
+    def _predictor(self, name: str, kind: str) -> _ClassPredictor:
+        predictor = self._classes.get(name)
+        if predictor is None:
+            predictor = _ClassPredictor(kind, self.ridge)
+            self._classes[name] = predictor
+        return predictor
+
+    # ------------------------------------------------------------------
+    # PerformanceModel protocol
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        status: "ClassStatus",
+        proposed_limit: float,
+        mix: Optional[MixSnapshot] = None,
+    ) -> float:
+        """Analytic base plus the learned, clamped residual correction."""
+        service_class = status.service_class
+        kind = service_class.kind
+        value = status.current_value
+        base = self._base_predict(kind, value, status.current_limit, proposed_limit)
+        if self._corrupted:
+            return float("nan")
+        predictor = self._classes.get(service_class.name)
+        if predictor is None or predictor.observations == 0:
+            return self._clamp(kind, base)
+        own = mix.get(service_class.name) if mix is not None else None
+        x = _features(
+            value, status.current_limit, proposed_limit, own, mix, service_class.name
+        )
+        correction = predictor.correction(x)
+        bound = max(
+            _MAX_CORRECTION_RATIO * abs(base), _MIN_CORRECTION_SCALE
+        )
+        if not math.isfinite(correction):
+            correction = 0.0
+        correction = min(max(correction, -bound), bound)
+        return self._clamp(kind, base + correction)
+
+    def observe(self, observation: IntervalObservation) -> None:
+        """One prequential update per control interval.
+
+        Pairs the *previous* interval's mix (the features available when
+        the prediction would have been made) with the values realised now,
+        under the limits that were active in between — exactly the
+        pairing the telemetry layer's prediction-error bookkeeping uses.
+        """
+        previous = self._pending
+        self._pending = observation.mix
+        if previous is None:
+            return
+        for state in observation.mix.classes:
+            before = previous.get(state.name)
+            if before is None or before.value is None or state.value is None:
+                continue
+            # The limit active while ``state.value`` was realised is the
+            # one carried by the *current* snapshot (installed after the
+            # previous observation).
+            base = self._base_predict(
+                state.kind, before.value, before.limit, state.limit
+            )
+            x = _features(
+                before.value, before.limit, state.limit, before, previous, state.name
+            )
+            self._predictor(state.name, state.kind).update(
+                x, state.value - base, self.forgetting
+            )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe snapshot: hyperparameters plus per-class weights."""
+        return {
+            "name": self.name,
+            "observations": self.observations,
+            "ridge": self.ridge,
+            "forgetting": self.forgetting,
+            "corrupted": self._corrupted,
+            "classes": {
+                name: {
+                    "kind": predictor.kind,
+                    "observations": predictor.observations,
+                    "weights": [round(w, 9) for w in predictor.w],
+                }
+                for name, predictor in sorted(self._classes.items())
+            },
+        }
+
+    def corrupt(self, mode: str = "regression") -> None:
+        """Poison the learned state: every prediction becomes NaN."""
+        if mode != "regression":
+            raise ConfigurationError(
+                "LearnedPerformanceModel knows no corruption mode {!r}".format(mode)
+            )
+        self._corrupted = True
+
+    def reset(self) -> None:
+        """Drop all learned state (weights, pending pairing, corruption)."""
+        self._classes = {}
+        self._pending = None
+        self._corrupted = False
+
+    @property
+    def observations(self) -> int:
+        """Total residual observations folded in across classes."""
+        return sum(p.observations for p in self._classes.values())
+
+    def fingerprint(self) -> object:
+        return (self.observations, self._corrupted)
+
+    def mix_fingerprint(self, mix: Optional[MixSnapshot]) -> object:
+        """Mix-aware: identical statuses under a different mix must not
+        share a cached solution."""
+        return mix.key() if mix is not None else None
+
+    def slope_bounds(self) -> Optional[Tuple[float, float]]:
+        """No scalar OLTP slope to bound; the harness skips the check."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialisation (``repro train`` output / ``--model learned:PATH``)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Full state as a JSON-serialisable dict (``model.json``)."""
+        return {
+            "format": 1,
+            "name": self.name,
+            "hyper": {
+                "prior_slope": self._base_oltp.prior_slope,
+                "ridge": self.ridge,
+                "forgetting": self.forgetting,
+            },
+            "classes": {
+                name: predictor.to_dict()
+                for name, predictor in sorted(self._classes.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "LearnedPerformanceModel":
+        """Reconstruct a trained model from :meth:`to_dict` output."""
+        if payload.get("format") != 1 or payload.get("name") != "learned":
+            raise ConfigurationError(
+                "not a learned-model file (expected format=1, name='learned')"
+            )
+        hyper = payload.get("hyper") or {}
+        model = LearnedPerformanceModel(
+            prior_slope=float(hyper.get("prior_slope", -4.2e-6)),
+            ridge=float(hyper.get("ridge", 4.0)),
+            forgetting=float(hyper.get("forgetting", 0.995)),
+        )
+        classes = payload.get("classes") or {}
+        for name, state in classes.items():
+            model._classes[name] = _ClassPredictor.from_dict(state, model.ridge)
+        return model
+
+
+class OracleLastValueModel:
+    """Persistence baseline: predicts the metric simply stays put.
+
+    A strong naive forecaster (and therefore a fair floor for prediction
+    error), but blind to the control knob — the solver sees the same
+    outcome for every allocation, so its plans degenerate to the fallback
+    split.  That contrast is the point of carrying it in the ablation.
+    """
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        self._corrupted = False
+
+    def predict(
+        self,
+        status: "ClassStatus",
+        proposed_limit: float,
+        mix: Optional[MixSnapshot] = None,
+    ) -> float:
+        if self._corrupted:
+            return float("nan")
+        if status.service_class.kind == "olap":
+            return max(0.0, min(1.0, status.current_value))
+        return max(status.current_value, 1e-3)
+
+    def observe(self, observation: IntervalObservation) -> None:
+        pass
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name, "observations": 0, "corrupted": self._corrupted}
+
+    def corrupt(self, mode: str = "regression") -> None:
+        self._corrupted = True
+
+    def reset(self) -> None:
+        self._corrupted = False
+
+    def fingerprint(self) -> object:
+        return self._corrupted
+
+    def mix_fingerprint(self, mix: Optional[MixSnapshot]) -> object:
+        return None
+
+    def slope_bounds(self) -> Optional[Tuple[float, float]]:
+        return None

@@ -1,0 +1,155 @@
+"""The :class:`PerformanceModel` protocol and its input types.
+
+Everything the control plane knows about "a performance model" lives
+here.  A model answers one question — *what will a class's goal metric be
+next interval if I set its cost limit to X?* — and exposes four seams the
+rest of the system is wired against:
+
+* :meth:`PerformanceModel.predict` — the prediction itself, given the
+  class's current status, a candidate limit, and (optionally) a
+  :class:`MixSnapshot` of the full concurrent workload;
+* :meth:`PerformanceModel.observe` — one :class:`IntervalObservation` per
+  control interval, from which online models learn;
+* :meth:`PerformanceModel.describe` — a JSON-safe parameter dict the
+  telemetry layer embeds in every :class:`ControlIntervalRecord`;
+* :meth:`PerformanceModel.corrupt` / :meth:`PerformanceModel.reset` — the
+  fault injector's white-box corruption seam, so breaking a model for a
+  validation test never requires reaching into private attributes.
+
+The protocol is structural (:class:`typing.Protocol`): the paper's
+analytic models, the learned ridge models and the oracle baseline all
+satisfy it without inheriting from anything.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+try:  # Protocol is 3.8+; keep a graceful fallback for exotic interpreters.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+if TYPE_CHECKING:  # avoid a circular import; ClassStatus lives in solver
+    from repro.core.solver import ClassStatus
+
+
+class ClassMixState(NamedTuple):
+    """One class's slice of the concurrent mix at a control interval."""
+
+    name: str
+    kind: str  # "olap" or "oltp"
+    limit: float  # cost limit active right now (timerons)
+    value: Optional[float]  # latest measured goal-metric value
+    queue_length: int
+    in_flight_count: int
+    in_flight_cost: float
+
+
+class MixSnapshot(NamedTuple):
+    """The full concurrent workload mix at one control interval.
+
+    Mix-aware models (the learned predictors) condition on every class's
+    cost limit, queue depth and in-flight load — not just the knob of the
+    class being predicted.  Mix-blind models (the paper's analytic ones)
+    simply ignore it, which is why every ``predict`` accepts ``mix=None``.
+    """
+
+    time: float
+    classes: Tuple[ClassMixState, ...]
+
+    def get(self, name: str) -> Optional[ClassMixState]:
+        """The named class's state (None when not in the mix)."""
+        for state in self.classes:
+            if state.name == name:
+                return state
+        return None
+
+    def key(self) -> tuple:
+        """Hashable fingerprint for solver solution caching."""
+        return tuple(
+            (s.name, s.limit, s.value, s.queue_length, s.in_flight_count)
+            for s in self.classes
+        )
+
+
+class IntervalObservation(NamedTuple):
+    """What the planner saw at one control interval, handed to ``observe``.
+
+    ``mix`` is the pre-solve state: per-class measured values and the cost
+    limits that were *active during the interval that just ended* (the
+    plan installed by the previous decision).  ``oltp_delta`` is the
+    planner-computed ``(Δ limit, Δ response time)`` regression pair for
+    the OLTP class — present only when online regression is enabled and a
+    valid pair exists, exactly as the pre-seam planner gated it.
+    """
+
+    time: float
+    mix: MixSnapshot
+    oltp_delta: Optional[Tuple[float, float]] = None
+
+
+@runtime_checkable
+class PerformanceModel(Protocol):
+    """Structural contract every performance model satisfies."""
+
+    #: Registry name ("paper", "learned", "oracle").
+    name: str
+
+    def predict(
+        self,
+        status: "ClassStatus",
+        proposed_limit: float,
+        mix: Optional[MixSnapshot] = None,
+    ) -> float:
+        """Predicted goal-metric value for the class under the limit."""
+        ...
+
+    def observe(self, observation: IntervalObservation) -> None:
+        """Fold in one control interval's realised state."""
+        ...
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe parameter snapshot for telemetry export."""
+        ...
+
+    def corrupt(self, mode: str = "regression") -> None:
+        """Deliberately break internal state (fault-injection seam)."""
+        ...
+
+    def reset(self) -> None:
+        """Restore pristine (freshly constructed) state."""
+        ...
+
+    def fingerprint(self) -> object:
+        """Hashable version of the learned state, for solution caching.
+
+        Must change whenever :meth:`observe` changes what :meth:`predict`
+        would return; may stay constant otherwise.
+        """
+        ...
+
+    def mix_fingerprint(self, mix: Optional[MixSnapshot]) -> object:
+        """Hashable mix component of the solution-cache key.
+
+        Mix-blind models return ``None`` so identical statuses keep
+        hitting the cache; mix-aware models return ``mix.key()``.
+        """
+        ...
+
+    def slope_bounds(self) -> Optional[Tuple[float, float]]:
+        """Public clamp band ``(steepest, shallowest)`` of the model's
+        OLTP slope estimate, or ``None`` when the model has no such
+        notion.  The validation harness checks the live slope against
+        this contract instead of importing private constants."""
+        ...

@@ -15,11 +15,17 @@ the Dispatcher" (Section 2).  Each control interval the planner:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.config import PlannerConfig
 from repro.core.dispatcher import Dispatcher
-from repro.core.models import OLTPResponseTimeModel
+from repro.core.modeling import (
+    ClassMixState,
+    IntervalObservation,
+    MixSnapshot,
+    OLTPResponseTimeModel,
+    PerformanceModel,
+)
 from repro.core.monitor import ClassMeasurement, Monitor
 from repro.core.plan import SchedulingPlan
 from repro.core.service_class import ServiceClass
@@ -97,9 +103,15 @@ class SchedulingPlanner:
     # Wiring
     # ------------------------------------------------------------------
     @property
+    def model(self) -> Optional[PerformanceModel]:
+        """The solver's performance model (None for model-free allocators
+        like the deficit heuristic)."""
+        return getattr(self.solver, "model", None)
+
+    @property
     def oltp_model(self) -> Optional[OLTPResponseTimeModel]:
         """The solver's OLTP response-time model (None for model-free
-        allocators like the deficit heuristic)."""
+        allocators and for learned models without a scalar regression)."""
         return getattr(self.solver, "oltp_model", None)
 
     @property
@@ -167,7 +179,8 @@ class SchedulingPlanner:
         self.profiler.begin()
         with self.profiler.section("monitor"):
             measurements = self.monitor.measure_all()
-        self._update_regression(measurements)
+        mix = self._mix_snapshot(measurements, now)
+        self._observe_model(measurements, mix)
         statuses = [
             ClassStatus(
                 service_class=service_class,
@@ -177,7 +190,7 @@ class SchedulingPlanner:
             for service_class in self.classes
         ]
         with self.profiler.section("solver"):
-            plan = self.solver.solve(statuses, now=now)
+            plan = self.solver.solve(statuses, now=now, mix=mix)
         with self.profiler.section("dispatcher"):
             self.dispatcher.install_plan(plan)
         overhead = self.profiler.finish()
@@ -187,7 +200,7 @@ class SchedulingPlanner:
             time=now,
             plan=plan,
             measurements=measurements,
-            predictions=self._predict_under(statuses, plan),
+            predictions=self._predict_under(statuses, plan, mix),
             trigger=trigger,
             interval_index=len(self.history),
             overhead=overhead,
@@ -198,7 +211,10 @@ class SchedulingPlanner:
         return record
 
     def _predict_under(
-        self, statuses: List[ClassStatus], plan: SchedulingPlan
+        self,
+        statuses: List[ClassStatus],
+        plan: SchedulingPlan,
+        mix: Optional[MixSnapshot] = None,
     ) -> Dict[str, float]:
         """Per-class predicted metric value under the plan just chosen.
 
@@ -210,7 +226,7 @@ class SchedulingPlanner:
             return {}
         return {
             status.service_class.name: predict(
-                status, plan.limit(status.service_class.name)
+                status, plan.limit(status.service_class.name), mix
             )
             for status in statuses
         }
@@ -222,19 +238,63 @@ class SchedulingPlanner:
         measurement = measurements.get(class_name)
         return measurement.value if measurement is not None else None
 
-    def _update_regression(self, measurements: Dict[str, ClassMeasurement]) -> None:
-        """Feed the OLTP model the (Δ limit, Δ response time) of last interval.
+    def _mix_snapshot(
+        self, measurements: Dict[str, ClassMeasurement], now: float
+    ) -> MixSnapshot:
+        """The full concurrent mix as mix-aware models see it.
 
-        Only active with ``config.online_regression``; the paper uses the
-        offline regression constant (Section 3.2).
+        Limits are the ones *active right now* (the previous decision's
+        plan — the solve for this interval has not happened yet), queue
+        depths and in-flight load come from the dispatcher.
+        """
+        states = []
+        for service_class in self.classes:
+            name = service_class.name
+            states.append(
+                ClassMixState(
+                    name=name,
+                    kind=service_class.kind,
+                    limit=self.dispatcher.plan.limit(name),
+                    value=self._value_of(measurements, name),
+                    queue_length=self.dispatcher.queue_length(name),
+                    in_flight_count=self.dispatcher.in_flight_count(name),
+                    in_flight_cost=self.dispatcher.in_flight_cost(name),
+                )
+            )
+        return MixSnapshot(time=now, classes=tuple(states))
+
+    def _observe_model(
+        self, measurements: Dict[str, ClassMeasurement], mix: MixSnapshot
+    ) -> None:
+        """Hand the performance model this interval's observation."""
+        model = self.model
+        if model is None:
+            return
+        model.observe(
+            IntervalObservation(
+                time=mix.time,
+                mix=mix,
+                oltp_delta=self._oltp_delta(measurements),
+            )
+        )
+
+    def _oltp_delta(
+        self, measurements: Dict[str, ClassMeasurement]
+    ) -> Optional[Tuple[float, float]]:
+        """The (Δ limit, Δ response time) regression pair of last interval.
+
+        Only produced with ``config.online_regression`` (the paper uses
+        the offline regression constant, Section 3.2) and when a valid
+        consecutive measurement pair exists — the same gating the
+        pre-seam planner applied before feeding the OLTP model directly.
         """
         if not self.config.online_regression:
-            return
-        if self._oltp_class is None or self.oltp_model is None:
-            return
+            return None
+        if self._oltp_class is None:
+            return None
         current = measurements.get(self._oltp_class.name)
         if current is None or self._previous_oltp is None or len(self.history) < 2:
-            return
+            return None
         # The limit active during the interval that just ended was installed
         # by the last tick; the one before it by the tick before that.
         name = self._oltp_class.name
@@ -242,4 +302,4 @@ class SchedulingPlanner:
             name
         )
         delta_rt = current.value - self._previous_oltp.value
-        self.oltp_model.observe(delta_limit, delta_rt)
+        return (delta_limit, delta_rt)

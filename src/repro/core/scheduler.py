@@ -26,7 +26,7 @@ from repro.core.classifier import Classifier
 from repro.core.detection import WorkloadDetector
 from repro.core.heuristic import DeficitAllocator
 from repro.core.dispatcher import Dispatcher
-from repro.core.models import OLTPResponseTimeModel
+from repro.core.modeling import make_model
 from repro.core.monitor import Monitor
 from repro.core.plan import SchedulingPlan
 from repro.core.planner import SchedulingPlanner
@@ -97,18 +97,13 @@ class QueryScheduler:
                 min_class_limit=config.planner.min_class_limit,
             )
         else:
-            oltp_model = OLTPResponseTimeModel(
-                prior_slope=config.planner.oltp_slope_prior,
-                prior_weight=config.planner.oltp_slope_weight,
-                forgetting=config.planner.regression_forgetting,
-            )
             self.solver = PerformanceSolver(
                 utility=make_utility(
                     config.planner.utility,
                     surplus_slope=config.planner.surplus_slope,
                     importance_base=config.planner.importance_base,
                 ),
-                oltp_model=oltp_model,
+                model=make_model(config.planner.model, config.planner),
                 system_cost_limit=config.system_cost_limit,
                 grid_timerons=config.planner.grid_timerons,
                 min_class_limit=config.planner.min_class_limit,

@@ -18,7 +18,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.models import OLAPVelocityModel, OLTPResponseTimeModel
+from repro.core.modeling import (
+    MixSnapshot,
+    OLTPResponseTimeModel,
+    PaperAnalyticModel,
+    PerformanceModel,
+)
 from repro.core.plan import SchedulingPlan
 from repro.core.service_class import ServiceClass
 from repro.core.utility import UtilityFunction
@@ -59,11 +64,12 @@ class PerformanceSolver:
     def __init__(
         self,
         utility: UtilityFunction,
-        oltp_model: OLTPResponseTimeModel,
-        system_cost_limit: float,
+        oltp_model: Optional[OLTPResponseTimeModel] = None,
+        system_cost_limit: float = 0.0,
         grid_timerons: float = 1000.0,
         min_class_limit: float = 1000.0,
         oltp_target_margin: float = 1.0,
+        model: Optional[PerformanceModel] = None,
     ) -> None:
         if grid_timerons <= 0:
             raise SchedulingError("grid_timerons must be positive")
@@ -73,8 +79,16 @@ class PerformanceSolver:
             raise SchedulingError("system_cost_limit must be positive")
         if not 0 < oltp_target_margin <= 1:
             raise SchedulingError("oltp_target_margin must be in (0, 1]")
+        if model is not None and oltp_model is not None:
+            raise SchedulingError(
+                "pass either a PerformanceModel or an oltp_model, not both"
+            )
+        if model is None:
+            # Back-compat construction: an OLTP model (or nothing) wraps
+            # into the paper's analytic pair, the bit-identical default.
+            model = PaperAnalyticModel(oltp_model=oltp_model)
+        self.model: PerformanceModel = model
         self.utility = utility
-        self.oltp_model = oltp_model
         self.system_cost_limit = system_cost_limit
         self.grid = grid_timerons
         self.min_class_limit = min_class_limit
@@ -124,6 +138,16 @@ class PerformanceSolver:
         """Solves answered from the solution cache (inputs unchanged)."""
         return self._cache_hits
 
+    @property
+    def oltp_model(self) -> Optional[OLTPResponseTimeModel]:
+        """The analytic OLTP regression, when the model keeps one.
+
+        Back-compat accessor: the paper model exposes its
+        :class:`OLTPResponseTimeModel` as ``.oltp``; learned/oracle
+        models have no scalar-slope regression and yield ``None``.
+        """
+        return getattr(self.model, "oltp", None)
+
     def set_system_cost_limit(self, limit: float) -> None:
         """Retarget the solver to a new global budget.
 
@@ -166,25 +190,28 @@ class PerformanceSolver:
     # ------------------------------------------------------------------
     # Prediction and objective
     # ------------------------------------------------------------------
-    def predict_value(self, status: ClassStatus, new_limit: float) -> float:
+    def predict_value(
+        self,
+        status: ClassStatus,
+        new_limit: float,
+        mix: Optional[MixSnapshot] = None,
+    ) -> float:
         """Predicted metric value for a class under a candidate limit."""
-        service_class = status.service_class
-        if service_class.kind == "olap":
-            return OLAPVelocityModel.predict(
-                status.current_value, status.current_limit, new_limit
-            )
-        return self.oltp_model.predict(
-            status.current_value, status.current_limit, new_limit
-        )
+        return self.model.predict(status, new_limit, mix)
 
-    def class_utility(self, status: ClassStatus, new_limit: float) -> float:
+    def class_utility(
+        self,
+        status: ClassStatus,
+        new_limit: float,
+        mix: Optional[MixSnapshot] = None,
+    ) -> float:
         """Utility contribution of one class under a candidate limit.
 
         The OLTP class is scored against ``goal * oltp_target_margin`` so
         the controller aims slightly below its SLO (control headroom);
         reported attainment elsewhere always uses the true goal.
         """
-        predicted = self.predict_value(status, new_limit)
+        predicted = self.predict_value(status, new_limit, mix)
         service_class = status.service_class
         if service_class.kind == "oltp" and self.oltp_target_margin < 1.0:
             # Equivalent to achievement against a margin-scaled target
@@ -195,11 +222,16 @@ class PerformanceSolver:
             achievement = service_class.goal.achievement(predicted)
         return self.utility.value(achievement, service_class.importance)
 
-    def objective(self, statuses: Sequence[ClassStatus], limits: Sequence[float]) -> float:
+    def objective(
+        self,
+        statuses: Sequence[ClassStatus],
+        limits: Sequence[float],
+        mix: Optional[MixSnapshot] = None,
+    ) -> float:
         """Total utility of a full candidate allocation."""
         self._evaluations += 1
         return sum(
-            self.class_utility(status, limit)
+            self.class_utility(status, limit, mix)
             for status, limit in zip(statuses, limits)
         )
 
@@ -208,6 +240,7 @@ class PerformanceSolver:
         statuses: Sequence[ClassStatus],
         memos: List[Dict[int, float]],
         units: Sequence[int],
+        mix: Optional[MixSnapshot] = None,
     ) -> float:
         """:meth:`objective` with per-class utilities memoized by unit count.
 
@@ -226,7 +259,7 @@ class PerformanceSolver:
             memo = memos[index]
             utility = memo.get(count)
             if utility is None:
-                utility = self.class_utility(statuses[index], count * grid)
+                utility = self.class_utility(statuses[index], count * grid, mix)
                 memo[count] = utility
             score += utility
         return score
@@ -234,7 +267,12 @@ class PerformanceSolver:
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def solve(self, statuses: Sequence[ClassStatus], now: float = 0.0) -> SchedulingPlan:
+    def solve(
+        self,
+        statuses: Sequence[ClassStatus],
+        now: float = 0.0,
+        mix: Optional[MixSnapshot] = None,
+    ) -> SchedulingPlan:
         """Produce the utility-optimal plan for the given class statuses."""
         if not statuses:
             raise SchedulingError("solver needs at least one class status")
@@ -250,7 +288,7 @@ class PerformanceSolver:
                     self.system_cost_limit, len(statuses), self.min_class_limit
                 )
             )
-        cache_key = self._cache_key(statuses)
+        cache_key = self._cache_key(statuses, mix)
         cached = self._solution_cache.get(cache_key)
         if cached is not None:
             best_units, best_score = cached
@@ -260,11 +298,11 @@ class PerformanceSolver:
             evaluations_before = self._evaluations
             if len(statuses) <= _EXHAUSTIVE_MAX_CLASSES:
                 best_units, best_score = self._solve_exhaustive(
-                    statuses, total_units, min_units
+                    statuses, total_units, min_units, mix
                 )
             else:
                 best_units, best_score = self._solve_greedy(
-                    statuses, total_units, min_units
+                    statuses, total_units, min_units, mix
                 )
             self._last_evaluations = self._evaluations - evaluations_before
             if len(self._solution_cache) >= _SOLUTION_CACHE_MAX:
@@ -282,13 +320,17 @@ class PerformanceSolver:
         }
         return SchedulingPlan(limits, self.system_cost_limit, created_at=now)
 
-    def _cache_key(self, statuses: Sequence[ClassStatus]) -> tuple:
+    def _cache_key(
+        self, statuses: Sequence[ClassStatus], mix: Optional[MixSnapshot] = None
+    ) -> tuple:
         """Hashable fingerprint of everything a solve's outcome depends on.
 
         Covers each class's identity, goal, importance and measured state,
-        plus the OLTP model's observation count — ``observe`` bumps it on
-        every accepted sample, so it versions the model's learned slope
-        without hashing the regression state itself.  The solver's own
+        plus the model's :meth:`~repro.core.modeling.PerformanceModel.fingerprint`
+        — it changes whenever learned state shifts predictions, versioning
+        the model without hashing its full internals.  Mix-aware models
+        additionally contribute a mix fingerprint (mix-blind models return
+        None there, preserving their cache behaviour).  The solver's own
         parameters (grid, limits, utility shape) are fixed per instance and
         need no key component.
         """
@@ -307,7 +349,11 @@ class PerformanceSolver:
                     status.current_value,
                 )
             )
-        return (tuple(parts), self.oltp_model.observations)
+        return (
+            tuple(parts),
+            self.model.fingerprint(),
+            self.model.mix_fingerprint(mix),
+        )
 
     @staticmethod
     def _fallback_units(count: int, total_units: int, min_units: int) -> Tuple[int, ...]:
@@ -324,6 +370,7 @@ class PerformanceSolver:
         statuses: Sequence[ClassStatus],
         total_units: int,
         min_units: int,
+        mix: Optional[MixSnapshot] = None,
     ) -> Tuple[Tuple[int, ...], float]:
         free_units = total_units - min_units * len(statuses)
         # Seed with the even split so a degenerate objective (every score
@@ -334,7 +381,7 @@ class PerformanceSolver:
         memos: List[Dict[int, float]] = [{} for _ in statuses]
         for combo in _compositions(free_units, len(statuses)):
             units = tuple(min_units + c for c in combo)
-            score = self._memo_objective(statuses, memos, units)
+            score = self._memo_objective(statuses, memos, units, mix)
             if math.isnan(score):
                 continue
             if math.isnan(best_score) or score > best_score:
@@ -346,6 +393,7 @@ class PerformanceSolver:
         statuses: Sequence[ClassStatus],
         total_units: int,
         min_units: int,
+        mix: Optional[MixSnapshot] = None,
     ) -> Tuple[Tuple[int, ...], float]:
         count = len(statuses)
         # Start proportional to current limits (projected onto the grid).
@@ -370,7 +418,7 @@ class PerformanceSolver:
         # utility evaluations that used to dominate are computed once per
         # distinct (class, unit count) pair.
         memos: List[Dict[int, float]] = [{} for _ in statuses]
-        best_score = self._memo_objective(statuses, memos, units)
+        best_score = self._memo_objective(statuses, memos, units, mix)
         improved = True
         while improved:
             improved = False
@@ -383,7 +431,7 @@ class PerformanceSolver:
                         continue
                     units[donor] -= 1
                     units[recipient] += 1
-                    score = self._memo_objective(statuses, memos, units)
+                    score = self._memo_objective(statuses, memos, units, mix)
                     units[donor] += 1
                     units[recipient] -= 1
                     if math.isnan(score):

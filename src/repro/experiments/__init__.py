@@ -22,6 +22,12 @@ from repro.experiments.figures import (
     figure6,
     figure7,
 )
+from repro.experiments.model_ablation import (
+    DEFAULT_MODELS,
+    DEFAULT_SCENARIOS,
+    format_ablation_table,
+    run_model_ablation,
+)
 from repro.experiments.parallel import (
     RunOutcome,
     RunRequest,
@@ -78,4 +84,8 @@ __all__ = [
     "get_config_field",
     "generate_report",
     "write_report",
+    "DEFAULT_MODELS",
+    "DEFAULT_SCENARIOS",
+    "format_ablation_table",
+    "run_model_ablation",
 ]

@@ -362,13 +362,16 @@ class FaultInjector:
         self._log("corrupt_velocity_sample", class_name=class_name, value=value)
 
     def corrupt_oltp_regression(self) -> None:
-        """Zero the OLTP regression's normal equations.
+        """Corrupt the performance model's regression state.
 
-        The slope computation then divides by zero — exactly the kind of
+        Goes through the model's public ``corrupt()`` seam (no reaching
+        into private normal equations).  For the paper's analytic model
+        the slope computation then divides by zero — exactly the kind of
         broken internal state an invariant check must survive *and* report.
         Trips ``oltp_slope_in_clamp_band`` through its exception path.
         """
-        if self.planner is None or self.planner.oltp_model is None:
-            raise self._missing("corrupt_oltp_regression", "planner with an OLTP model")
-        self.planner.oltp_model._sxx = 0.0
+        model = getattr(self.planner, "model", None) if self.planner else None
+        if model is None:
+            raise self._missing("corrupt_oltp_regression", "planner with a model")
+        model.corrupt("regression")
         self._log("corrupt_oltp_regression")

@@ -98,6 +98,9 @@ class SolverTelemetry:
     solve_calls: int
     oltp_slope: Optional[float]
     oltp_observations: Optional[int]
+    #: The performance model's self-description (``model.describe()``) —
+    #: name, state summary, per-class weights for learned models.
+    model: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         """JSON-ready representation."""
@@ -108,6 +111,7 @@ class SolverTelemetry:
             "solve_calls": self.solve_calls,
             "oltp_slope": _finite(self.oltp_slope),
             "oltp_observations": self.oltp_observations,
+            "model": self.model,
         }
 
 
@@ -405,14 +409,16 @@ class ControllerTelemetry:
                 error=error,
             )
         self._previous_predictions = dict(record.predictions)
-        oltp_model = getattr(self.solver, "oltp_model", None)
+        model = getattr(self.solver, "model", None)
+        description = model.describe() if model is not None else {}
         solver_snapshot = SolverTelemetry(
             allocation=record.plan.as_dict(),
             objective=getattr(self.solver, "last_score", None),
             evaluations=getattr(self.solver, "last_evaluations", 0),
             solve_calls=getattr(self.solver, "solve_calls", 0),
-            oltp_slope=getattr(oltp_model, "slope", None),
-            oltp_observations=getattr(oltp_model, "observations", None),
+            oltp_slope=description.get("slope"),
+            oltp_observations=description.get("observations"),
+            model=description,
         )
         dispatcher_snapshot: Dict[str, DispatcherClassTelemetry] = {}
         for service_class in self.classes:

@@ -471,7 +471,10 @@ class ScenarioSpec:
                     "fields (seed / schedule)".format(path)
                 )
             try:
-                config = set_config_field(config, path, self.control[path])
+                # "model" is sugar for the planner's performance-model
+                # spec, so scenarios can say ``control: {model: learned}``.
+                target = "planner.model" if path == "model" else path
+                config = set_config_field(config, target, self.control[path])
             except ConfigurationError as exc:
                 raise ScenarioError("control override {!r}: {}".format(path, exc))
         scale = WorkloadScaleConfig(

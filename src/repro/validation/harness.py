@@ -29,7 +29,7 @@ from typing import List, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.core.dispatcher import Dispatcher
-from repro.core.models import _SLOPE_DRIFT_FACTOR, OLTPResponseTimeModel
+from repro.core.modeling import OLTPResponseTimeModel
 from repro.core.monitor import Monitor
 from repro.core.planner import PlanRecord, SchedulingPlanner
 from repro.core.service_class import ServiceClass
@@ -263,8 +263,7 @@ def _check_oltp_slope_band(world: ControlLoopWorld):
     if model is None:
         return True
     slope = model.slope  # raises on corrupted regression state -> violation
-    steepest = model.prior_slope * _SLOPE_DRIFT_FACTOR
-    shallowest = model.prior_slope / _SLOPE_DRIFT_FACTOR
+    steepest, shallowest = model.slope_bounds()
     if math.isnan(slope) or not steepest <= slope <= shallowest:
         return "slope {} outside clamp band [{}, {}]".format(
             slope, steepest, shallowest

@@ -1,0 +1,112 @@
+"""PaperAnalyticModel: dispatch equivalence and the corrupt/reset seam."""
+
+import pytest
+
+from repro.core.modeling import (
+    ClassMixState,
+    IntervalObservation,
+    MixSnapshot,
+    OLAPVelocityModel,
+    OLTPResponseTimeModel,
+    PaperAnalyticModel,
+)
+from repro.core.service_class import ResponseTimeGoal, ServiceClass, VelocityGoal
+from repro.core.solver import ClassStatus
+from repro.errors import ConfigurationError
+
+
+def olap_status(value=0.4, limit=10_000.0):
+    sc = ServiceClass("c1", "olap", VelocityGoal(0.5), 1)
+    return ClassStatus(sc, limit, value)
+
+
+def oltp_status(value=0.3, limit=10_000.0):
+    sc = ServiceClass("c3", "oltp", ResponseTimeGoal(0.25), 3)
+    return ClassStatus(sc, limit, value)
+
+
+def one_class_mix(time=0.0):
+    state = ClassMixState("c1", "olap", 10_000.0, 0.4, 2, 1, 500.0)
+    return MixSnapshot(time=time, classes=(state,))
+
+
+class TestDispatchEquivalence:
+    """The protocol wrapper must be arithmetic-identical to the bare pair
+    (the golden regression data is pinned to this)."""
+
+    def test_olap_matches_bare_velocity_model(self):
+        model = PaperAnalyticModel()
+        for new_limit in (5_000.0, 10_000.0, 20_000.0):
+            assert model.predict(olap_status(), new_limit) == (
+                OLAPVelocityModel.predict(0.4, 10_000.0, new_limit)
+            )
+
+    def test_oltp_matches_bare_linear_model(self):
+        oltp = OLTPResponseTimeModel(prior_slope=-5e-6)
+        model = PaperAnalyticModel(oltp_model=OLTPResponseTimeModel(prior_slope=-5e-6))
+        for new_limit in (5_000.0, 10_000.0, 20_000.0):
+            assert model.predict(oltp_status(), new_limit) == (
+                oltp.predict(0.3, 10_000.0, new_limit)
+            )
+
+    def test_mix_argument_is_ignored(self):
+        model = PaperAnalyticModel()
+        with_mix = model.predict(olap_status(), 20_000.0, one_class_mix())
+        without = model.predict(olap_status(), 20_000.0, None)
+        assert with_mix == without
+        assert model.mix_fingerprint(one_class_mix()) is None
+
+
+class TestObserve:
+    def test_delta_folds_into_regression(self):
+        model = PaperAnalyticModel()
+        model.observe(
+            IntervalObservation(0.0, one_class_mix(), oltp_delta=(2_000.0, -0.01))
+        )
+        assert model.oltp.observations == 1
+        assert model.fingerprint() == 1
+
+    def test_no_delta_leaves_regression_untouched(self):
+        model = PaperAnalyticModel()
+        model.observe(IntervalObservation(0.0, one_class_mix()))
+        assert model.oltp.observations == 0
+        assert model.fingerprint() == 0
+
+
+class TestCorruptResetSeam:
+    def test_corrupt_breaks_slope_reset_restores(self):
+        model = PaperAnalyticModel()
+        before = model.oltp.slope
+        model.corrupt("regression")
+        with pytest.raises(ZeroDivisionError):
+            model.oltp.slope
+        model.reset()
+        assert model.oltp.slope == before
+
+    def test_unknown_corruption_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperAnalyticModel().corrupt("cosmic-rays")
+
+    def test_describe_survives_corruption(self):
+        import json
+
+        model = PaperAnalyticModel()
+        model.corrupt()
+        description = model.describe()
+        assert description["slope"] is None
+        json.dumps(description)
+
+    def test_describe_reports_bounds_and_slope(self):
+        model = PaperAnalyticModel(oltp_model=OLTPResponseTimeModel(prior_slope=-4e-6))
+        description = model.describe()
+        assert description["name"] == "paper"
+        assert description["slope"] == pytest.approx(-4e-6)
+        assert description["slope_bounds"][0] == pytest.approx(-4e-6 * 3.0)
+        assert description["slope_bounds"][1] == pytest.approx(-4e-6 / 3.0)
+
+    def test_slope_bounds_bracket_live_slope(self):
+        model = OLTPResponseTimeModel(prior_slope=-4e-6, prior_weight=1.0, forgetting=0.5)
+        for _ in range(50):
+            model.observe(1_000.0, -1.0)  # absurdly steep observations
+        steepest, shallowest = model.slope_bounds()
+        assert steepest <= model.slope <= shallowest

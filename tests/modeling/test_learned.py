@@ -1,0 +1,162 @@
+"""Learned residual model: cold-start safety, learning, serialisation."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.modeling import (
+    ClassMixState,
+    IntervalObservation,
+    LearnedPerformanceModel,
+    MixSnapshot,
+    OracleLastValueModel,
+    PaperAnalyticModel,
+)
+from repro.core.service_class import ResponseTimeGoal, ServiceClass, VelocityGoal
+from repro.core.solver import ClassStatus
+from repro.errors import ConfigurationError
+
+
+def olap_status(value, limit=10_000.0, name="c1"):
+    sc = ServiceClass(name, "olap", VelocityGoal(0.5), 1)
+    return ClassStatus(sc, limit, value)
+
+
+def oltp_status(value, limit=10_000.0, name="c3"):
+    sc = ServiceClass(name, "oltp", ResponseTimeGoal(0.25), 3)
+    return ClassStatus(sc, limit, value)
+
+
+def mix_of(time, value, limit=10_000.0, queue=4, in_flight=2, name="c1"):
+    state = ClassMixState(name, "olap", limit, value, queue, in_flight, 800.0)
+    return MixSnapshot(time=time, classes=(state,))
+
+
+class TestColdStart:
+    """With zero observations the learned model IS the paper model
+    (clamped): departures need data."""
+
+    def test_olap_cold_prediction_equals_analytic(self):
+        learned = LearnedPerformanceModel()
+        paper = PaperAnalyticModel()
+        for value, new_limit in ((0.3, 5_000.0), (0.5, 10_000.0), (0.9, 25_000.0)):
+            assert learned.predict(olap_status(value), new_limit) == (
+                paper.predict(olap_status(value), new_limit)
+            )
+
+    def test_oltp_cold_prediction_equals_analytic_base(self):
+        learned = LearnedPerformanceModel(prior_slope=-5e-6)
+        expected = 0.3 + (-5e-6) * (20_000.0 - 10_000.0)
+        assert learned.predict(oltp_status(0.3), 20_000.0) == pytest.approx(expected)
+
+
+class TestLearning:
+    def test_learns_constant_residual_and_beats_analytic(self):
+        """Realised values run a constant 0.05 above the analytic
+        prediction; the residual learner must pick that up."""
+        model = LearnedPerformanceModel()
+        value = 0.2
+        model.observe(IntervalObservation(0.0, mix_of(0.0, value)))
+        for k in range(1, 13):
+            value = min(1.0, value + 0.05)  # limits constant -> base = prev
+            model.observe(IntervalObservation(60.0 * k, mix_of(60.0 * k, value)))
+        assert model.observations == 12
+        mix = mix_of(800.0, value)
+        predicted = model.predict(olap_status(value), 10_000.0, mix)
+        learned_error = abs(predicted - min(1.0, value + 0.05))
+        analytic_error = abs(value - min(1.0, value + 0.05))  # paper predicts no change
+        assert learned_error < analytic_error
+        assert learned_error < 0.03
+
+    def test_correction_is_clamped_against_blowup(self):
+        model = LearnedPerformanceModel()
+        predictor = model._predictor("c1", "olap")
+        predictor.w = [100.0] * len(predictor.w)  # absurd weights
+        predictor.observations = 5
+        predicted = model.predict(olap_status(0.4), 10_000.0, mix_of(0.0, 0.4))
+        assert 0.0 <= predicted <= 1.0
+
+    def test_missing_values_are_skipped(self):
+        model = LearnedPerformanceModel()
+        model.observe(IntervalObservation(0.0, mix_of(0.0, None)))
+        model.observe(IntervalObservation(60.0, mix_of(60.0, 0.5)))
+        assert model.observations == 0
+
+
+class TestCorruptReset:
+    def test_corrupt_poisons_predictions(self):
+        model = LearnedPerformanceModel()
+        model.corrupt("regression")
+        assert math.isnan(model.predict(olap_status(0.4), 10_000.0))
+        model.reset()
+        assert model.predict(olap_status(0.4), 10_000.0) == pytest.approx(0.4)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LearnedPerformanceModel().corrupt("gamma")
+
+    def test_corruption_changes_fingerprint(self):
+        model = LearnedPerformanceModel()
+        before = model.fingerprint()
+        model.corrupt()
+        assert model.fingerprint() != before
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_predictions(self):
+        model = LearnedPerformanceModel(ridge=2.0, forgetting=0.99)
+        value = 0.2
+        model.observe(IntervalObservation(0.0, mix_of(0.0, value)))
+        for k in range(1, 9):
+            value += 0.05
+            model.observe(IntervalObservation(60.0 * k, mix_of(60.0 * k, value)))
+        clone = LearnedPerformanceModel.from_dict(
+            json.loads(json.dumps(model.to_dict()))
+        )
+        mix = mix_of(900.0, value)
+        assert clone.predict(olap_status(value), 12_000.0, mix) == (
+            model.predict(olap_status(value), 12_000.0, mix)
+        )
+        assert clone.ridge == 2.0
+        assert clone.forgetting == 0.99
+
+    def test_from_dict_rejects_foreign_payload(self):
+        with pytest.raises(ConfigurationError):
+            LearnedPerformanceModel.from_dict({"format": 2, "name": "learned"})
+        with pytest.raises(ConfigurationError):
+            LearnedPerformanceModel.from_dict({"format": 1, "name": "paper"})
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LearnedPerformanceModel(ridge=0.0)
+        with pytest.raises(ConfigurationError):
+            LearnedPerformanceModel(forgetting=1.5)
+
+
+class TestMixAwareness:
+    def test_mix_fingerprint_distinguishes_mixes(self):
+        model = LearnedPerformanceModel()
+        a = model.mix_fingerprint(mix_of(0.0, 0.4, queue=2))
+        b = model.mix_fingerprint(mix_of(0.0, 0.4, queue=9))
+        assert a != b
+        assert model.mix_fingerprint(None) is None
+
+
+class TestOracle:
+    def test_predicts_last_value_whatever_the_limit(self):
+        oracle = OracleLastValueModel()
+        for limit in (1_000.0, 10_000.0, 30_000.0):
+            assert oracle.predict(olap_status(0.37), limit) == pytest.approx(0.37)
+
+    def test_clamps_by_kind(self):
+        oracle = OracleLastValueModel()
+        assert oracle.predict(olap_status(1.4), 10_000.0) == 1.0
+        assert oracle.predict(oltp_status(0.0), 10_000.0) == pytest.approx(1e-3)
+
+    def test_corrupt_and_reset(self):
+        oracle = OracleLastValueModel()
+        oracle.corrupt()
+        assert math.isnan(oracle.predict(olap_status(0.5), 10_000.0))
+        oracle.reset()
+        assert oracle.predict(olap_status(0.5), 10_000.0) == pytest.approx(0.5)

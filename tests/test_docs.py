@@ -28,6 +28,7 @@ def test_required_documents_exist():
         "docs/CALIBRATION.md",
         "docs/VALIDATION.md",
         "docs/BENCHMARKS.md",
+        "docs/MODELS.md",
     ):
         assert os.path.exists(os.path.join(REPO, relpath)), relpath
 

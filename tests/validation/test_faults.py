@@ -71,6 +71,32 @@ class TestCorruptionsTripTheirInvariant:
         # The invariant fired through its exception path and survived.
         assert "ZeroDivisionError" in slope[0].detail
 
+    def test_regression_corruption_goes_through_public_seam(
+        self, qs_bundle, monkeypatch
+    ):
+        """The injector must use the model's ``corrupt()`` seam, never
+        reach into private regression state — and the invariant must
+        still trip through the seam."""
+        harness = started_harness(qs_bundle)
+        qs_bundle.run(horizon=5.0)
+        model = qs_bundle.controller.planner.model
+        calls = []
+        original = model.corrupt
+        monkeypatch.setattr(
+            model,
+            "corrupt",
+            lambda mode="regression": (calls.append(mode), original(mode))[1],
+        )
+        FaultInjector(qs_bundle).corrupt_oltp_regression()
+        assert calls == ["regression"]
+        # Telemetry's describe() stays JSON-safe on the corrupted state...
+        assert model.describe()["slope"] is None
+        # ...while the invariant still fires.
+        assert "oltp_slope_in_clamp_band" in {v.name for v in harness.check()}
+        # And reset() restores a checkable slope.
+        model.reset()
+        assert "oltp_slope_in_clamp_band" not in {v.name for v in harness.check()}
+
     def test_dropped_dispatcher_completion_trips_engine_agreement(self, qs_bundle):
         harness = started_harness(qs_bundle)
         injector = FaultInjector(qs_bundle)
